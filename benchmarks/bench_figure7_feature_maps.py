@@ -1,0 +1,32 @@
+"""Benchmark E6 — regenerate Figure 7 (GP / LP feature-map analysis)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_figure7, run_figure7
+from repro.nn import Tensor, no_grad
+
+from conftest import record_report
+
+
+def test_figure7_feature_maps(benchmark, harness):
+    result = run_figure7(harness)
+    record_report("Figure 7 feature maps", format_figure7(result))
+
+    # The paper's qualitative observation, stated quantitatively: the Fourier
+    # (GP) features track the aerial intensity more than raw edges, and the
+    # convolutional (LP) features respond to edges.
+    assert result["gp_aerial_correlation"] > 0.15
+    assert result["gp_aerial_correlation"] > result["gp_edge_correlation"]
+    assert result["lp_edge_correlation"] > 0.05
+    assert "artifact_path" in result
+
+    # Timed kernel: one GP-path forward (the Fourier unit at work).
+    model, _ = harness.trained_model("doinn", "ispd2019", "L")
+    data = harness.benchmark("ispd2019", "L")
+    x = Tensor(data.test.masks[:1])
+
+    def gp_forward():
+        with no_grad():
+            return model.global_perception(x)
+
+    benchmark(gp_forward)

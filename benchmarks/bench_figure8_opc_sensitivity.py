@@ -1,0 +1,31 @@
+"""Benchmark E7 — regenerate Figure 8 (sensitivity to OPC-iteration perturbations)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_figure8, run_figure8
+
+from conftest import record_report
+
+
+def test_figure8_opc_sensitivity(benchmark, harness):
+    result = run_figure8(harness)
+    record_report("Figure 8 OPC sensitivity", format_figure8(result))
+
+    assert len(result["iterations"]) == harness.profile.opc_iterations
+    # Both models improve as the mask approaches the trained (OPC'ed)
+    # distribution: the last quarter of iterations scores above the first.
+    quarter = max(1, len(result["iterations"]) // 4)
+    for series in ("doinn_miou", "unet_miou"):
+        early = float(np.mean(result[series][:quarter]))
+        late = float(np.mean(result[series][-quarter:]))
+        assert late >= early - 0.05
+    # DOINN keeps its advantage over the CNN-only baseline on average.
+    assert result["doinn_mean"] >= result["unet_mean"] - 0.10
+
+    # Timed kernel: one DOINN prediction on an intermediate OPC snapshot.
+    model, _ = harness.trained_model("doinn", "iccad2013", "L")
+    data = harness.benchmark("iccad2013", "L")
+    mask = data.test.masks[:1]
+    benchmark(lambda: model.predict(mask, batch_size=1))

@@ -1,0 +1,25 @@
+"""Benchmark E1 — regenerate Table 1 (dataset details)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1, run_table1
+
+from conftest import record_report
+
+
+def test_table1_datasets(benchmark, harness):
+    rows = run_table1(harness)
+    record_report("Table 1 datasets", format_table1(rows))
+
+    labels = {row["dataset"] for row in rows}
+    assert {"ICCAD-2013", "ISPD-2019", "ISPD-2019-LT", "N14"} <= labels
+    for row in rows:
+        if row["dataset"] != "ISPD-2019-LT":
+            assert row["train"] > 0
+        assert row["test"] > 0
+    large = next(r for r in rows if r["dataset"] == "ISPD-2019-LT")
+    small = next(r for r in rows if r["dataset"] == "ISPD-2019")
+    assert large["tile_um2"] > small["tile_um2"]
+
+    # Timed kernel: rebuilding the dataset statistics from the cached datasets.
+    benchmark(lambda: run_table1(harness))

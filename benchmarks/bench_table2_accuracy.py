@@ -1,0 +1,49 @@
+"""Benchmark E2 — regenerate Table 2 (accuracy comparison with UNet / DAMO-DLS).
+
+Trains UNet, DAMO-DLS and DOINN on every benchmark row with the shared recipe
+and reports mPA / mIOU.  Trained weights are cached under ``artifacts/`` so
+re-running the suite re-uses them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import evaluate_model
+from repro.experiments import TABLE2_ROWS, format_table2, run_table2
+
+from conftest import record_report
+
+
+def test_table2_accuracy(benchmark, harness):
+    results = run_table2(harness)
+    record_report("Table 2 accuracy", format_table2(results))
+
+    assert len(results) == len(TABLE2_ROWS)
+    for row in results:
+        doinn = row["doinn"]
+        unet = row["unet"]
+        # Learned simulators must beat a trivial all-background predictor by a
+        # wide margin on every benchmark.
+        assert doinn["miou"] > 55.0
+        assert unet["miou"] > 50.0
+        # Paper ordering: DOINN beats the plain CNN baseline on every row.
+        assert doinn["miou"] > unet["miou"] - 1.0
+        if row["resolution"] == "L":
+            # At the (L) working resolution DOINN stays the smallest learned
+            # model (at (H) the retained-mode weights grow with the spectrum).
+            assert doinn["params"] < unet["params"]
+        if row.get("damo-dls"):
+            assert doinn["params"] < row["damo-dls"]["params"] * 1.2
+
+    # Paper headline: DOINN is competitive with or better than the baselines on
+    # average across benchmarks.
+    doinn_mean = np.mean([r["doinn"]["miou"] for r in results])
+    unet_mean = np.mean([r["unet"]["miou"] for r in results])
+    assert doinn_mean > unet_mean - 5.0
+
+    # Timed kernel: DOINN inference on one held-out test set (the deployment
+    # operation Table 2 cares about).
+    data = harness.benchmark("ispd2019", "L")
+    model, _ = harness.trained_model("doinn", "ispd2019", "L")
+    benchmark(lambda: evaluate_model(model, data.test))

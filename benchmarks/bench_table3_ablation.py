@@ -1,0 +1,29 @@
+"""Benchmark E3 — regenerate Table 3 (ablation study on ICCAD-2013 (L))."""
+
+from __future__ import annotations
+
+from repro.core import DOINN, DOINNConfig
+from repro.experiments import format_table3, run_table3
+from repro.nn import Tensor
+
+from conftest import record_report
+
+
+def test_table3_ablation(benchmark, harness):
+    rows = run_table3(harness)
+    record_report("Table 3 ablation", format_table3(rows))
+
+    assert [row["id"] for row in rows] == [1, 2, 3, 4]
+    # Every component increases model capacity ...
+    params = [row["params"] for row in rows]
+    assert params == sorted(params)
+    # ... and the full DOINN is at least as accurate as the GP-only variant
+    # (the paper reports a monotone improvement; small-scale training keeps the
+    # end-points ordering).
+    assert rows[3]["miou"] >= rows[0]["miou"]
+
+    # Timed kernel: forward pass of the full configuration.
+    data = harness.benchmark("iccad2013", "L")
+    model = DOINN(DOINNConfig.scaled(data.train.image_size))
+    x = Tensor(data.test.masks[:2])
+    benchmark(lambda: model(x))

@@ -1,0 +1,22 @@
+"""Benchmark E8 — regenerate Tables 5-7 (DOINN architecture appendix)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table5_7, run_table5_7
+
+from conftest import record_report
+
+
+def test_table5_7_architecture(benchmark):
+    result = run_table5_7(image_size=2048)
+    record_report("Tables 5-7 architecture", format_table5_7(result))
+
+    # The paper-scale model lands at the published ~1.3 M parameters.
+    assert 1_200_000 < result["parameters"] < 1_500_000
+    # Table 5: the retained frequency block is 50x50 coefficients.
+    assert result["modes_per_axis"] == 50
+    gp_rows = [r for r in result["rows"] if r["path"] == "GP"]
+    assert gp_rows[0]["output"][:2] == (256, 256)
+
+    # Timed kernel: building the paper-scale model (weight allocation + init).
+    benchmark(lambda: run_table5_7(image_size=2048))

@@ -1,0 +1,21 @@
+"""Benchmark E9 — regenerate Table 8 (training configurations)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table8, run_table8
+from repro.training import TrainingConfig
+
+from conftest import record_report
+
+
+def test_table8_training_config(benchmark, harness):
+    result = run_table8(harness)
+    record_report("Table 8 training configuration", format_table8(result))
+
+    paper = dict(result["paper"])
+    assert paper["Max Epoch"] == 10
+    assert paper["Initial Learning Rate"] == 0.002
+    assert paper["Optimizer"] == "Adam"
+    assert paper["Loss"] == "MSE"
+
+    benchmark(lambda: TrainingConfig.paper().as_rows())

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The formatted
+tables are collected in ``REPORTS`` and printed in the terminal summary (so
+they appear even with output capture enabled) as well as written to
+``artifacts/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Harness, artifacts_dir, get_profile
+
+REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, text: str) -> None:
+    """Register a formatted table for the terminal summary and write it to disk."""
+    REPORTS.append((title, text))
+    results_dir = artifacts_dir() / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    safe = title.lower().replace(" ", "_").replace("/", "-")
+    (results_dir / f"{safe}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    """One shared experiment harness (dataset/model caches) for the whole run."""
+    return Harness(get_profile())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper tables and figures (regenerated)")
+    for title, text in REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

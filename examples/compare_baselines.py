@@ -1,0 +1,60 @@
+"""Compare DOINN against the UNet and DAMO-DLS baselines on one benchmark.
+
+A miniature version of the paper's Table 2 / Figure 6: all three models are
+trained with the same recipe on the same synthetic via-layer dataset, then
+compared on accuracy, model size and inference throughput.
+
+Run with:  python examples/compare_baselines.py
+"""
+
+from __future__ import annotations
+
+from repro.core import create_model, model_size
+from repro.data import BenchmarkConfig, build_benchmark
+from repro.evaluation import evaluate_model, measure_model_throughput
+from repro.litho import LithoSimulator
+from repro.training import Trainer, TrainingConfig
+from repro.utils import format_table, seed_everything
+
+
+def main() -> None:
+    seed_everything(3)
+    simulator = LithoSimulator(pixel_size=16.0)
+    config = BenchmarkConfig(
+        benchmark="ispd2019", num_train=24, num_test=6,
+        image_size=64, pixel_size=16.0, density_scale=1.5,
+    )
+    data = build_benchmark(config, simulator)
+
+    rows = []
+    for name, label in (("unet", "UNet"), ("damo-dls", "DAMO-DLS"), ("doinn", "DOINN (ours)")):
+        print(f"Training {label} ...")
+        model = create_model(name, image_size=config.image_size)
+        history = Trainer(model, TrainingConfig.fast(max_epochs=4, batch_size=4)).fit(data.train)
+        score = evaluate_model(model, data.test)
+        throughput = measure_model_throughput(
+            model, data.test.masks[0, 0], config.pixel_size, repeats=2
+        )
+        mpa, miou = score.as_row()
+        rows.append(
+            [
+                label,
+                model_size(model),
+                f"{mpa:.2f}",
+                f"{miou:.2f}",
+                f"{throughput.um2_per_second:.1f}",
+                f"{history.wall_time:.1f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["Model", "Params", "mPA (%)", "mIOU (%)", "um^2/s", "train s"],
+            rows,
+            title="Baseline comparison (ISPD-2019-style via tiles)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

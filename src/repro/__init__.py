@@ -1,0 +1,28 @@
+"""Reproduction of "Generic Lithography Modeling with Dual-band Optics-Inspired
+Neural Networks" (DAC 2022).
+
+Sub-packages
+------------
+``repro.nn``
+    NumPy deep-learning framework (autograd, layers, spectral ops, optimizers).
+``repro.litho``
+    Golden Hopkins/SOCS lithography simulator and resist models.
+``repro.layout``
+    Layout geometry, synthetic benchmark generators, rasterization and tiling.
+``repro.opc``
+    Edge-based OPC engine and SRAF insertion.
+``repro.data``
+    Datasets and data loaders for mask/resist image pairs.
+``repro.core``
+    The DOINN model, baselines (UNet, DAMO-DLS, FNO) and the large-tile
+    simulation scheme.
+``repro.metrics`` / ``repro.evaluation`` / ``repro.training``
+    mIOU/mPA/EPE metrics, the training loop (Table 8 recipe) and evaluation
+    utilities including throughput measurement.
+``repro.experiments``
+    One harness per paper table/figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""The paper's primary contribution (DOINN) and the compared baselines."""
+
+from .damo import DAMODLS
+from .doinn import DOINN, DOINNConfig
+from .fno import BaselineFNO
+from .largetile import LargeTileSimulator
+from .paths import GlobalPerception, ImageReconstruction, LocalPerception, VGGBlock
+from .registry import available_models, create_model, model_size
+from .unet import UNet
+
+__all__ = [
+    "DOINN",
+    "DOINNConfig",
+    "UNet",
+    "DAMODLS",
+    "BaselineFNO",
+    "LargeTileSimulator",
+    "GlobalPerception",
+    "LocalPerception",
+    "ImageReconstruction",
+    "VGGBlock",
+    "create_model",
+    "available_models",
+    "model_size",
+]

@@ -1,0 +1,178 @@
+"""The Dual-band Optics-Inspired Neural Network (DOINN).
+
+DOINN (paper §3.1, Figure 4) combines
+
+* a **global perception** (GP) path — average pooling + an optimized Fourier
+  unit that resembles the physical imaging equation (eq. (11)),
+* a **local perception** (LP) path — strided convolutions capturing
+  high-frequency mask detail, and
+* an **image reconstruction** (IR) path — transposed convolutions with skip
+  concatenations and refinement convolutions producing the resist image.
+
+The default configuration reproduces the appendix architecture (Tables 5-7) at
+a configurable input size; ``DOINNConfig.paper()`` gives the exact published
+configuration (2048x2048 input, 16 GP channels, 50 retained modes, ~1.3 M
+parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .paths import GlobalPerception, ImageReconstruction, LocalPerception
+
+__all__ = ["DOINNConfig", "DOINN"]
+
+
+@dataclass(frozen=True)
+class DOINNConfig:
+    """Hyper-parameters of a DOINN instance.
+
+    The ablation switches correspond to Table 3 of the paper:
+
+    =====  =================================================================
+    Row    Configuration
+    =====  =================================================================
+    1      ``use_refine=False, use_lp=False, use_skips=False`` (GP only)
+    2      ``use_refine=True,  use_lp=False, use_skips=False`` (GP + IR)
+    3      ``use_refine=True,  use_lp=True,  use_skips=False`` (GP + IR + LP)
+    4      ``use_refine=True,  use_lp=True,  use_skips=True``  (full DOINN)
+    =====  =================================================================
+    """
+
+    gp_channels: int = 16
+    lp_base_channels: int = 4
+    modes: int = 8
+    pool_factor: int = 8
+    use_lp: bool = True
+    use_skips: bool = True
+    use_refine: bool = True
+    seed: int = 0
+
+    @staticmethod
+    def paper() -> "DOINNConfig":
+        """The exact configuration published in the paper's appendix."""
+        return DOINNConfig(gp_channels=16, lp_base_channels=4, modes=25, pool_factor=8)
+
+    @staticmethod
+    def scaled(image_size: int, gp_channels: int = 16, lp_base_channels: int = 4) -> "DOINNConfig":
+        """A configuration scaled to a smaller input size.
+
+        The number of retained modes is chosen as large as the pooled spectrum
+        allows (up to the paper's 25-per-sign-axis), so the GP path keeps the
+        same relative bandwidth.
+        """
+        pooled = image_size // 8
+        modes = max(2, min(25, pooled // 2))
+        return DOINNConfig(gp_channels=gp_channels, lp_base_channels=lp_base_channels, modes=modes)
+
+    def ablation(self, row: int) -> "DOINNConfig":
+        """Return the configuration of one Table 3 ablation row (1-4)."""
+        flags = {
+            1: (False, False, False),
+            2: (True, False, False),
+            3: (True, True, False),
+            4: (True, True, True),
+        }
+        if row not in flags:
+            raise ValueError("ablation row must be 1, 2, 3 or 4")
+        use_refine, use_lp, use_skips = flags[row]
+        return DOINNConfig(
+            gp_channels=self.gp_channels,
+            lp_base_channels=self.lp_base_channels,
+            modes=self.modes,
+            pool_factor=self.pool_factor,
+            use_lp=use_lp,
+            use_skips=use_skips,
+            use_refine=use_refine,
+            seed=self.seed,
+        )
+
+
+class DOINN(nn.Module):
+    """Dual-band optics-inspired neural network for lithography modeling."""
+
+    def __init__(self, config: DOINNConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or DOINNConfig()
+        rng = np.random.default_rng(self.config.seed)
+
+        self.global_perception = GlobalPerception(
+            channels=self.config.gp_channels,
+            modes=self.config.modes,
+            pool_factor=self.config.pool_factor,
+            rng=rng,
+        )
+        if self.config.use_lp:
+            self.local_perception = LocalPerception(self.config.lp_base_channels, rng=rng)
+            lp_channels = self.local_perception.channels
+        else:
+            self.local_perception = None
+            lp_channels = (0, 0, 0)
+        self.reconstruction = ImageReconstruction(
+            gp_channels=self.config.gp_channels,
+            lp_channels=lp_channels,
+            base_channels=self.config.lp_base_channels,
+            use_lp=self.config.use_lp,
+            use_skips=self.config.use_skips,
+            use_refine=self.config.use_refine,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        """Predict the resist image for mask images ``(N, 1, H, W)``.
+
+        ``H`` and ``W`` must be divisible by 8 (the GP pooling factor) and at
+        least ``16 * modes`` so the retained frequency block fits.
+        """
+        gp = self.global_perception(x)
+        lp = self.local_perception(x) if self.local_perception is not None else None
+        return self.reconstruction(gp, lp)
+
+    def predict(self, masks: np.ndarray, batch_size: int = 8) -> np.ndarray:
+        """Inference helper: numpy masks ``(N, 1, H, W)`` -> resist predictions."""
+        outputs = []
+        self.eval()
+        with nn.no_grad():
+            for start in range(0, masks.shape[0], batch_size):
+                batch = Tensor(masks[start : start + batch_size])
+                outputs.append(self.forward(batch).numpy())
+        self.train()
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def summary(self, image_size: int = 2048) -> list[dict]:
+        """Per-path layer summary matching the appendix tables (5-7).
+
+        Returns a list of rows with keys ``path``, ``layer`` and ``output``;
+        spatial sizes are derived for the given ``image_size``.
+        """
+        pooled = image_size // self.config.pool_factor
+        gp_rows = [
+            {"path": "GP", "layer": "AvePooling", "output": (pooled, pooled, 1)},
+            {"path": "GP", "layer": "FFT", "output": (pooled, pooled // 2 + 1, 1)},
+            {"path": "GP", "layer": "LiftChannel", "output": (pooled, pooled // 2 + 1, self.config.gp_channels)},
+            {"path": "GP", "layer": "MatMul", "output": (pooled, pooled // 2 + 1, self.config.gp_channels)},
+            {"path": "GP", "layer": "iFFT", "output": (pooled, pooled, self.config.gp_channels)},
+        ]
+        rows = list(gp_rows)
+        if self.local_perception is not None:
+            c1, c2, c3 = self.local_perception.channels
+            rows += [
+                {"path": "LP", "layer": "conv1+vgg1", "output": (image_size // 2, image_size // 2, c1)},
+                {"path": "LP", "layer": "conv2+vgg2", "output": (image_size // 4, image_size // 4, c2)},
+                {"path": "LP", "layer": "conv3+vgg3", "output": (image_size // 8, image_size // 8, c3)},
+            ]
+        base = self.config.lp_base_channels
+        rows += [
+            {"path": "IR", "layer": "dconv1+vgg4", "output": (image_size // 4, image_size // 4, base * 4)},
+            {"path": "IR", "layer": "dconv2+vgg5", "output": (image_size // 2, image_size // 2, base * 2)},
+            {"path": "IR", "layer": "dconv3+vgg6", "output": (image_size, image_size, base)},
+            {"path": "IR", "layer": "refine+output", "output": (image_size, image_size, 1)},
+        ]
+        return rows

@@ -1,0 +1,66 @@
+"""Baseline FNO lithography model (paper Figure 3(a)).
+
+A direct application of the Fourier Neural Operator to mask-to-resist
+translation: lift the input with a 1x1 convolution, apply a stack of Fourier
+layers (spectral convolution + bypass, eq. (7)-(10)), and project back to one
+output channel.  The paper argues this baseline is wasteful because every
+layer repeats full FFTs at mask resolution — the cost comparison is
+reproduced by ``benchmarks/bench_fourier_unit_cost.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["BaselineFNO"]
+
+
+class BaselineFNO(nn.Module):
+    """Stacked-Fourier-unit baseline (P -> Fourier layers -> Q)."""
+
+    def __init__(
+        self,
+        width: int = 8,
+        modes: int = 8,
+        num_layers: int = 4,
+        use_bypass: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be at least 1")
+        rng = np.random.default_rng(seed)
+        self.width = width
+        self.modes = modes
+        self.num_layers = num_layers
+
+        self.lift = nn.Conv2d(1, width, 1, rng=rng)
+        self.layers = []
+        for i in range(num_layers):
+            layer = nn.FNOFourierLayer(width, modes, use_bypass=use_bypass, rng=rng)
+            setattr(self, f"fourier{i}", layer)
+            self.layers.append(layer)
+        self.project1 = nn.Conv2d(width, width * 2, 1, rng=rng)
+        self.project2 = nn.Conv2d(width * 2, 1, 1, rng=rng)
+        self.relu = nn.ReLU()
+        self.tanh = nn.Tanh()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.lift(x)
+        for layer in self.layers:
+            x = layer(x)
+        x = self.relu(self.project1(x))
+        return self.tanh(self.project2(x))
+
+    def predict(self, masks: np.ndarray, batch_size: int = 8) -> np.ndarray:
+        """Inference helper mirroring :meth:`repro.core.doinn.DOINN.predict`."""
+        outputs = []
+        self.eval()
+        with nn.no_grad():
+            for start in range(0, masks.shape[0], batch_size):
+                outputs.append(self.forward(Tensor(masks[start : start + batch_size])).numpy())
+        self.train()
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,74 @@
+"""Model registry: build any of the compared models by name.
+
+Used by the experiment harnesses so a benchmark row like
+``("UNet", "DAMO-DLS", "Ours")`` maps directly onto model constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..nn import Module
+from .damo import DAMODLS
+from .doinn import DOINN, DOINNConfig
+from .fno import BaselineFNO
+from .unet import UNet
+
+__all__ = ["create_model", "available_models", "model_size"]
+
+
+def _build_doinn(image_size: int, **kwargs) -> DOINN:
+    kwargs.setdefault("gp_channels", 16)
+    kwargs.setdefault("lp_base_channels", 4)
+    config = kwargs.pop("config", None) or DOINNConfig.scaled(image_size, **kwargs)
+    return DOINN(config)
+
+
+def _build_unet(image_size: int, **kwargs) -> UNet:
+    kwargs.setdefault("base_channels", 8)
+    kwargs.setdefault("depth", 3)
+    return UNet(**kwargs)
+
+
+def _build_damo(image_size: int, **kwargs) -> DAMODLS:
+    kwargs.setdefault("base_channels", 12)
+    return DAMODLS(**kwargs)
+
+
+def _build_fno(image_size: int, **kwargs) -> BaselineFNO:
+    kwargs.setdefault("width", 8)
+    kwargs.setdefault("modes", max(2, min(16, image_size // 8)))
+    return BaselineFNO(**kwargs)
+
+
+_REGISTRY: dict[str, Callable[..., Module]] = {
+    "doinn": _build_doinn,
+    "unet": _build_unet,
+    "damo-dls": _build_damo,
+    "fno": _build_fno,
+}
+
+_ALIASES = {
+    "ours": "doinn",
+    "damo": "damo-dls",
+    "damodls": "damo-dls",
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`create_model`."""
+    return sorted(_REGISTRY)
+
+
+def create_model(name: str, image_size: int = 128, **kwargs) -> Module:
+    """Instantiate a model by name, scaled for ``image_size`` inputs."""
+    key = name.lower().replace("_", "-")
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    return _REGISTRY[key](image_size=image_size, **kwargs)
+
+
+def model_size(model: Module) -> int:
+    """Number of trainable parameters (paper: "20x smaller model size")."""
+    return model.num_parameters()

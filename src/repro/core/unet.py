@@ -1,0 +1,101 @@
+"""UNet baseline (Ronneberger et al. [28] in the paper's Table 2).
+
+A standard encoder-decoder UNet with skip connections, scaled by
+``base_channels`` and ``depth`` so the comparison against DOINN can be run at
+reduced image sizes while preserving the architecture family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["UNet"]
+
+
+class _DoubleConv(nn.Module):
+    """(conv 3x3, BN, ReLU) x 2 — the standard UNet block."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng=None) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(self.bn1(self.conv1(x)))
+        return self.relu(self.bn2(self.conv2(x)))
+
+
+class UNet(nn.Module):
+    """UNet for mask-to-resist image translation."""
+
+    def __init__(
+        self,
+        base_channels: int = 8,
+        depth: int = 3,
+        in_channels: int = 1,
+        out_channels: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.depth = depth
+        rng = np.random.default_rng(seed)
+
+        channels = [base_channels * (2**i) for i in range(depth + 1)]
+        self.encoders = []
+        self.pools = []
+        prev = in_channels
+        for i in range(depth):
+            encoder = _DoubleConv(prev, channels[i], rng=rng)
+            setattr(self, f"enc{i}", encoder)
+            self.encoders.append(encoder)
+            pool = nn.MaxPool2d(2)
+            setattr(self, f"pool{i}", pool)
+            self.pools.append(pool)
+            prev = channels[i]
+
+        self.bottleneck = _DoubleConv(prev, channels[depth], rng=rng)
+
+        self.upconvs = []
+        self.decoders = []
+        prev = channels[depth]
+        for i in reversed(range(depth)):
+            upconv = nn.ConvTranspose2d(prev, channels[i], 2, stride=2, padding=0, rng=rng)
+            setattr(self, f"up{i}", upconv)
+            self.upconvs.append(upconv)
+            decoder = _DoubleConv(channels[i] * 2, channels[i], rng=rng)
+            setattr(self, f"dec{i}", decoder)
+            self.decoders.append(decoder)
+            prev = channels[i]
+
+        self.head = nn.Conv2d(prev, out_channels, 1, rng=rng)
+        self.tanh = nn.Tanh()
+
+    def forward(self, x: Tensor) -> Tensor:
+        skips = []
+        for encoder, pool in zip(self.encoders, self.pools):
+            x = encoder(x)
+            skips.append(x)
+            x = pool(x)
+        x = self.bottleneck(x)
+        for upconv, decoder, skip in zip(self.upconvs, self.decoders, reversed(skips)):
+            x = upconv(x)
+            x = decoder(Tensor.cat([x, skip], axis=1))
+        return self.tanh(self.head(x))
+
+    def predict(self, masks: np.ndarray, batch_size: int = 8) -> np.ndarray:
+        """Inference helper mirroring :meth:`repro.core.doinn.DOINN.predict`."""
+        outputs = []
+        self.eval()
+        with nn.no_grad():
+            for start in range(0, masks.shape[0], batch_size):
+                outputs.append(self.forward(Tensor(masks[start : start + batch_size])).numpy())
+        self.train()
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,18 @@
+"""Datasets, loaders and synthetic benchmark builders."""
+
+from .benchmarks import BenchmarkConfig, BenchmarkData, build_benchmark, build_large_tile_benchmark
+from .dataloader import DataLoader
+from .dataset import MaskResistDataset
+from .transforms import Compose, RandomFlip, RandomRotate90
+
+__all__ = [
+    "MaskResistDataset",
+    "DataLoader",
+    "BenchmarkConfig",
+    "BenchmarkData",
+    "build_benchmark",
+    "build_large_tile_benchmark",
+    "Compose",
+    "RandomFlip",
+    "RandomRotate90",
+]

@@ -1,0 +1,206 @@
+"""Synthetic stand-ins for the paper's benchmark datasets (Table 1).
+
+Each builder generates layouts with the corresponding design-rule family,
+applies mask correction (rule-based retargeting plus SRAFs by default, or the
+full iterative OPC engine), rasterizes the corrected masks and labels them with
+the golden simulator.  The result mirrors the structure of Table 1:
+
+=============  =========  ======  ==========  =================
+Dataset        Train      Test    Tile size   Litho engine
+=============  =========  ======  ==========  =================
+ICCAD-2013     generated  10      4 µm²       golden simulator
+ISPD-2019      generated  many    4 µm²       golden simulator
+ISPD-2019-LT   —          10      64 µm²      golden simulator
+N14            generated  dense   4 µm²       golden simulator
+=============  =========  ======  ==========  =================
+
+Sizes are configurable because a NumPy-on-CPU reproduction cannot train on
+2000x2000 images; the defaults below keep the same tile structure at a reduced
+resolution (see DESIGN.md, "Environment substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..layout.design_rules import DesignRules, rules_for
+from ..layout.generators import generate_large_layout, generate_layout
+from ..layout.geometry import Layout
+from ..layout.rasterize import rasterize
+from ..litho.simulator import LithoSimulator
+from ..opc.engine import OPCConfig, OPCEngine, rule_based_retarget
+from ..opc.sraf import insert_srafs
+from .dataset import MaskResistDataset
+
+__all__ = ["BenchmarkConfig", "BenchmarkData", "build_benchmark", "build_large_tile_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Configuration of one synthetic benchmark family."""
+
+    benchmark: str = "ispd2019"
+    num_train: int = 64
+    num_test: int = 16
+    image_size: int = 128
+    pixel_size: float = 8.0
+    opc_mode: str = "rule"            # "rule", "iterative" or "none"
+    retarget_bias: float = 16.0       # nm per side for rule-based OPC
+    use_srafs: bool = True
+    density_scale: float = 1.5
+    opc_iterations: int = 8
+    seed: int = 0
+
+    @property
+    def tile_size_nm(self) -> float:
+        return self.image_size * self.pixel_size
+
+
+@dataclass
+class BenchmarkData:
+    """Train and test splits of one benchmark plus its provenance."""
+
+    train: MaskResistDataset
+    test: MaskResistDataset
+    config: BenchmarkConfig
+    rules: DesignRules
+    litho_engine: str = "hopkins-socs"
+
+    @property
+    def name(self) -> str:
+        return self.config.benchmark
+
+
+def _corrected_mask(
+    layout: Layout, config: BenchmarkConfig, simulator: LithoSimulator
+) -> np.ndarray:
+    """Apply the configured mask-correction mode and rasterize the mask."""
+    if config.opc_mode == "none":
+        corrected = layout
+        srafs = []
+    elif config.opc_mode == "rule":
+        corrected = rule_based_retarget(layout, bias=config.retarget_bias)
+        srafs = insert_srafs(layout) if config.use_srafs else []
+    elif config.opc_mode == "iterative":
+        engine = OPCEngine(
+            simulator,
+            OPCConfig(
+                iterations=config.opc_iterations,
+                use_srafs=config.use_srafs,
+                record_history=False,
+            ),
+        )
+        return engine.correct(layout).final_mask
+    else:
+        raise ValueError(f"unknown opc_mode '{config.opc_mode}'")
+
+    mask_layout = Layout(bounds=layout.bounds, shapes=list(corrected.shapes) + list(srafs))
+    return rasterize(mask_layout, pixel_size=config.pixel_size, image_size=config.image_size)
+
+
+def _build_samples(
+    count: int,
+    rules: DesignRules,
+    config: BenchmarkConfig,
+    simulator: LithoSimulator,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    masks = np.empty((count, config.image_size, config.image_size), dtype=np.float64)
+    resists = np.empty_like(masks)
+    for i in range(count):
+        layout = generate_layout(
+            rules, rng, tile_size=config.tile_size_nm, density_scale=config.density_scale
+        )
+        mask = _corrected_mask(layout, config, simulator)
+        masks[i] = mask
+        resists[i] = simulator.resist_image(mask)
+    return masks, resists
+
+
+def build_benchmark(
+    config: BenchmarkConfig | None = None, simulator: LithoSimulator | None = None
+) -> BenchmarkData:
+    """Build the train/test splits of one benchmark family."""
+    config = config or BenchmarkConfig()
+    rules = rules_for(config.benchmark)
+    simulator = simulator or LithoSimulator(pixel_size=config.pixel_size)
+    if simulator.pixel_size != config.pixel_size:
+        raise ValueError("simulator pixel size must match the benchmark configuration")
+    rng = np.random.default_rng(config.seed)
+
+    train_masks, train_resists = _build_samples(config.num_train, rules, config, simulator, rng)
+    test_masks, test_resists = _build_samples(config.num_test, rules, config, simulator, rng)
+
+    metadata = {"benchmark": config.benchmark, "opc_mode": config.opc_mode}
+    train = MaskResistDataset(
+        train_masks, train_resists, name=f"{config.benchmark}-train",
+        pixel_size=config.pixel_size, metadata=metadata,
+    )
+    test = MaskResistDataset(
+        test_masks, test_resists, name=f"{config.benchmark}-test",
+        pixel_size=config.pixel_size, metadata=metadata,
+    )
+    return BenchmarkData(train=train, test=test, config=config, rules=rules)
+
+
+def build_large_tile_benchmark(
+    config: BenchmarkConfig | None = None,
+    simulator: LithoSimulator | None = None,
+    num_tiles: int = 4,
+    scale: int = 2,
+) -> MaskResistDataset:
+    """Build the ISPD-2019-LT-style large-tile evaluation set.
+
+    Each tile is ``scale`` times larger (per side) than the training tile of
+    ``config`` and uses an above-nominal via density, matching the paper's
+    "ten most dense 64 µm² tiles".
+    """
+    config = config or BenchmarkConfig()
+    rules = rules_for(config.benchmark)
+    simulator = simulator or LithoSimulator(pixel_size=config.pixel_size)
+    rng = np.random.default_rng(config.seed + 1)
+
+    image_size = config.image_size * scale
+    masks = np.empty((num_tiles, image_size, image_size), dtype=np.float64)
+    resists = np.empty_like(masks)
+    for i in range(num_tiles):
+        layout = generate_large_layout(
+            DesignRules(
+                name=rules.name,
+                layer_type=rules.layer_type,
+                tile_size=config.tile_size_nm,
+                min_width=rules.min_width,
+                min_space=rules.min_space,
+                pitch=rules.pitch,
+                via_size=rules.via_size,
+                max_wire_length=rules.max_wire_length,
+                target_density=rules.target_density,
+            ),
+            rng,
+            scale=scale,
+            density_scale=config.density_scale * 1.2,
+        )
+        if config.opc_mode == "iterative":
+            # The OPC engine rasterizes at the layout's own (scaled) size.
+            mask = _corrected_mask(layout, config, simulator)
+        else:
+            corrected = (
+                rule_based_retarget(layout, bias=config.retarget_bias)
+                if config.opc_mode == "rule"
+                else layout
+            )
+            srafs = insert_srafs(layout) if (config.use_srafs and config.opc_mode == "rule") else []
+            mask_layout = Layout(bounds=layout.bounds, shapes=list(corrected.shapes) + list(srafs))
+            mask = rasterize(mask_layout, pixel_size=config.pixel_size, image_size=image_size)
+        masks[i] = mask
+        resists[i] = simulator.resist_image(mask)
+
+    return MaskResistDataset(
+        masks,
+        resists,
+        name=f"{config.benchmark}-lt",
+        pixel_size=config.pixel_size,
+        metadata={"benchmark": config.benchmark, "scale": scale},
+    )

@@ -1,0 +1,57 @@
+"""Minibatch iteration over a :class:`MaskResistDataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .dataset import MaskResistDataset
+from .transforms import Transform
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Yield ``(mask_batch, resist_batch)`` arrays of shape ``(B, 1, H, W)``.
+
+    Mirrors the PyTorch loader semantics used in the paper's training recipe
+    (batch size 16, shuffling every epoch).
+    """
+
+    def __init__(
+        self,
+        dataset: MaskResistDataset,
+        batch_size: int = 16,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        transform: Transform | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            masks = self.dataset.masks[indices]
+            resists = self.dataset.resists[indices]
+            if self.transform is not None:
+                masks, resists = self.transform(masks, resists, self.rng)
+            yield masks, resists

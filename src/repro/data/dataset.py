@@ -1,0 +1,98 @@
+"""Datasets of (mask image, resist image) training pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["MaskResistDataset"]
+
+
+@dataclass
+class MaskResistDataset:
+    """A set of mask/resist image pairs, stored as ``(N, 1, H, W)`` arrays.
+
+    ``masks`` are the network inputs (OPC'ed mask images including SRAFs);
+    ``resists`` are the golden simulator's printed contours (training labels).
+    """
+
+    masks: np.ndarray
+    resists: np.ndarray
+    name: str = "dataset"
+    pixel_size: float = 8.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.masks = np.asarray(self.masks, dtype=np.float64)
+        self.resists = np.asarray(self.resists, dtype=np.float64)
+        if self.masks.ndim == 3:
+            self.masks = self.masks[:, None]
+        if self.resists.ndim == 3:
+            self.resists = self.resists[:, None]
+        if self.masks.shape != self.resists.shape:
+            raise ValueError(
+                f"mask/resist shape mismatch: {self.masks.shape} vs {self.resists.shape}"
+            )
+        if self.masks.ndim != 4:
+            raise ValueError(f"expected (N, 1, H, W) arrays, got {self.masks.shape}")
+
+    def __len__(self) -> int:
+        return int(self.masks.shape[0])
+
+    def __getitem__(self, index) -> tuple[np.ndarray, np.ndarray]:
+        return self.masks[index], self.resists[index]
+
+    @property
+    def image_size(self) -> int:
+        return int(self.masks.shape[-1])
+
+    @property
+    def tile_area_um2(self) -> float:
+        """Physical tile area in µm² (paper Table 1 reports 4 µm² / 64 µm²)."""
+        side_nm = self.image_size * self.pixel_size
+        return (side_nm / 1000.0) ** 2
+
+    def subset(self, indices) -> "MaskResistDataset":
+        return MaskResistDataset(
+            masks=self.masks[indices],
+            resists=self.resists[indices],
+            name=self.name,
+            pixel_size=self.pixel_size,
+            metadata=dict(self.metadata),
+        )
+
+    def split(self, train_fraction: float, rng: np.random.Generator | None = None):
+        """Random split into (train, test) datasets."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            masks=self.masks,
+            resists=self.resists,
+            name=np.array(self.name),
+            pixel_size=np.array(self.pixel_size),
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @staticmethod
+    def load(path: str | Path) -> "MaskResistDataset":
+        with np.load(Path(path), allow_pickle=False) as archive:
+            return MaskResistDataset(
+                masks=archive["masks"],
+                resists=archive["resists"],
+                name=str(archive["name"]),
+                pixel_size=float(archive["pixel_size"]),
+            )

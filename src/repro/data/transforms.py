@@ -1,0 +1,68 @@
+"""Data augmentation transforms for mask/resist pairs.
+
+Lithography is equivariant under the layout symmetries (mirror and 90-degree
+rotations for a symmetric source), so the same transform is always applied to
+both the mask and its resist label.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["Transform", "RandomFlip", "RandomRotate90", "Compose"]
+
+
+class Transform(Protocol):
+    """A joint transform on batched (mask, resist) arrays of shape (B, 1, H, W)."""
+
+    def __call__(
+        self, masks: np.ndarray, resists: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        ...
+
+
+class RandomFlip:
+    """Randomly mirror each sample horizontally and/or vertically."""
+
+    def __init__(self, probability: float = 0.5) -> None:
+        self.probability = probability
+
+    def __call__(self, masks, resists, rng):
+        masks = masks.copy()
+        resists = resists.copy()
+        for i in range(masks.shape[0]):
+            if rng.random() < self.probability:
+                masks[i] = masks[i, :, ::-1, :]
+                resists[i] = resists[i, :, ::-1, :]
+            if rng.random() < self.probability:
+                masks[i] = masks[i, :, :, ::-1]
+                resists[i] = resists[i, :, :, ::-1]
+        return masks, resists
+
+
+class RandomRotate90:
+    """Randomly rotate each sample by a multiple of 90 degrees."""
+
+    def __call__(self, masks, resists, rng):
+        masks = masks.copy()
+        resists = resists.copy()
+        for i in range(masks.shape[0]):
+            k = int(rng.integers(0, 4))
+            if k:
+                masks[i] = np.rot90(masks[i], k, axes=(1, 2))
+                resists[i] = np.rot90(resists[i], k, axes=(1, 2))
+        return masks, resists
+
+
+class Compose:
+    """Apply several transforms in sequence."""
+
+    def __init__(self, *transforms: Transform) -> None:
+        self.transforms = transforms
+
+    def __call__(self, masks, resists, rng):
+        for transform in self.transforms:
+            masks, resists = transform(masks, resists, rng)
+        return masks, resists

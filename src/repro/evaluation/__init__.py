@@ -1,0 +1,13 @@
+"""Evaluation utilities: accuracy scoring and throughput measurement."""
+
+from .evaluator import EvaluationResult, evaluate_model, evaluate_predictions
+from .runtime import ThroughputResult, measure_model_throughput, measure_simulator_throughput
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_model",
+    "evaluate_predictions",
+    "ThroughputResult",
+    "measure_model_throughput",
+    "measure_simulator_throughput",
+]

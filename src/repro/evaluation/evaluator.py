@@ -1,0 +1,68 @@
+"""Model evaluation: mPA / mIOU over a dataset (paper Table 2 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import MaskResistDataset
+from ..metrics.contour import contour_distance_stats
+from ..metrics.segmentation import mean_iou, mean_pixel_accuracy
+
+__all__ = ["EvaluationResult", "evaluate_predictions", "evaluate_model"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregated metrics of one model on one dataset."""
+
+    mpa: float
+    miou: float
+    contour_mean_px: float
+    contour_max_px: float
+    num_samples: int
+
+    def as_row(self) -> tuple[float, float]:
+        """(mPA %, mIOU %) row as reported in the paper's tables."""
+        return (100.0 * self.mpa, 100.0 * self.miou)
+
+
+def evaluate_predictions(
+    predictions: np.ndarray, targets: np.ndarray, threshold: float = 0.5
+) -> EvaluationResult:
+    """Score predicted resist images ``(N, 1, H, W)`` against ground truth."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+    if predictions.ndim == 3:
+        predictions = predictions[:, None]
+        targets = targets[:, None]
+
+    mpas, mious, means, maxes = [], [], [], []
+    for prediction, target in zip(predictions, targets):
+        mpas.append(mean_pixel_accuracy(prediction[0], target[0], threshold))
+        mious.append(mean_iou(prediction[0], target[0], threshold))
+        stats = contour_distance_stats(prediction[0], target[0], threshold)
+        means.append(stats["mean"])
+        maxes.append(stats["max"])
+    return EvaluationResult(
+        mpa=float(np.mean(mpas)),
+        miou=float(np.mean(mious)),
+        contour_mean_px=float(np.mean(means)),
+        contour_max_px=float(np.max(maxes)),
+        num_samples=len(mpas),
+    )
+
+
+def evaluate_model(
+    model, data: MaskResistDataset, batch_size: int = 8, threshold: float = 0.5
+) -> EvaluationResult:
+    """Run a model over a dataset and score its predictions.
+
+    ``model`` must expose ``predict(masks, batch_size) -> np.ndarray`` (all
+    models in :mod:`repro.core` do).
+    """
+    predictions = model.predict(data.masks, batch_size=batch_size)
+    return evaluate_predictions(predictions, data.resists, threshold=threshold)

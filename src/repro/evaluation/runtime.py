@@ -1,0 +1,89 @@
+"""Throughput measurement in µm²/s (paper Figure 6).
+
+The paper compares the simulation throughput of UNet, DAMO, DOINN and the
+reference (golden) lithography engine in square micrometres of layout
+simulated per second.  The same quantity is measured here for the NumPy
+implementations, so the *ratios* between the learned models and the golden
+engine are comparable even though absolute numbers reflect CPU execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ThroughputResult", "measure_model_throughput", "measure_simulator_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Throughput of one engine."""
+
+    name: str
+    um2_per_second: float
+    seconds_per_tile: float
+    tile_area_um2: float
+    runs: int
+
+    def speedup_over(self, other: "ThroughputResult") -> float:
+        """How many times faster this engine is than ``other``."""
+        if other.um2_per_second <= 0:
+            return float("inf")
+        return self.um2_per_second / other.um2_per_second
+
+
+def _measure(name: str, run_once, tile_area_um2: float, repeats: int, warmup: int) -> ThroughputResult:
+    for _ in range(warmup):
+        run_once()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        run_once()
+    elapsed = time.perf_counter() - start
+    per_tile = elapsed / repeats
+    return ThroughputResult(
+        name=name,
+        um2_per_second=tile_area_um2 / per_tile,
+        seconds_per_tile=per_tile,
+        tile_area_um2=tile_area_um2,
+        runs=repeats,
+    )
+
+
+def measure_model_throughput(
+    model,
+    mask: np.ndarray,
+    pixel_size: float,
+    name: str | None = None,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> ThroughputResult:
+    """Measure inference throughput of a learned model on one mask tile."""
+    mask = np.asarray(mask)
+    tile_area_um2 = (mask.shape[-1] * pixel_size / 1000.0) * (mask.shape[-2] * pixel_size / 1000.0)
+    batch = mask[None, None] if mask.ndim == 2 else mask
+
+    def run_once():
+        model.predict(batch, batch_size=1)
+
+    return _measure(name or type(model).__name__, run_once, tile_area_um2, repeats, warmup)
+
+
+def measure_simulator_throughput(
+    simulator,
+    mask: np.ndarray,
+    name: str = "Ref",
+    repeats: int = 3,
+    warmup: int = 1,
+) -> ThroughputResult:
+    """Measure throughput of the golden lithography simulator on one mask tile."""
+    mask = np.asarray(mask)
+    tile_area_um2 = (mask.shape[-1] * simulator.pixel_size / 1000.0) * (
+        mask.shape[-2] * simulator.pixel_size / 1000.0
+    )
+
+    def run_once():
+        simulator.resist_image(mask)
+
+    return _measure(name, run_once, tile_area_um2, repeats, warmup)

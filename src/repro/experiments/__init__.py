@@ -1,0 +1,41 @@
+"""Experiment harnesses: one module per paper table/figure (see DESIGN.md §4)."""
+
+from .fourier_cost import format_fourier_cost, run_fourier_cost
+from .figure6_runtime import format_figure6, run_figure6
+from .figure7_feature_maps import format_figure7, run_figure7
+from .figure8_opc_sensitivity import format_figure8, run_figure8
+from .harness import ExperimentProfile, Harness, artifacts_dir, get_profile
+from .table1_datasets import format_table1, run_table1
+from .table2_accuracy import TABLE2_ROWS, format_table2, run_table2
+from .table3_ablation import format_table3, run_table3
+from .table4_large_tile import format_table4, run_table4
+from .table5_7_architecture import format_table5_7, run_table5_7
+from .table8_config import format_table8, run_table8
+
+__all__ = [
+    "Harness",
+    "ExperimentProfile",
+    "get_profile",
+    "artifacts_dir",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "TABLE2_ROWS",
+    "run_table3",
+    "format_table3",
+    "run_table4",
+    "format_table4",
+    "run_figure6",
+    "format_figure6",
+    "run_figure7",
+    "format_figure7",
+    "run_figure8",
+    "format_figure8",
+    "run_table5_7",
+    "format_table5_7",
+    "run_table8",
+    "format_table8",
+    "run_fourier_cost",
+    "format_fourier_cost",
+]

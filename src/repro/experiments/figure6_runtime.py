@@ -1,0 +1,127 @@
+"""Experiment E5 — regenerate Figure 6 (runtime / throughput comparison).
+
+Throughput (µm² of layout simulated per second) is measured for the UNet,
+DAMO-DLS and DOINN models and for the rigorous golden simulator ("Ref").  The
+model-size comparison from the paper's abstract (DOINN ~20x smaller than
+DAMO-DLS) and the speedup over the reference engine are derived from the same
+measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.registry import create_model
+from ..evaluation.runtime import measure_model_throughput, measure_simulator_throughput
+from ..utils.tables import format_table
+from .harness import Harness
+
+__all__ = ["run_figure6", "format_figure6"]
+
+# The reference engine is measured in sign-off configuration: a supersampled
+# simulation grid, the full SOCS kernel stack and three process-window corners
+# (nominal, defocus, overdose), which is what the slow "traditional lithography
+# engines" of Figure 6 compute to produce golden contours.
+_REF_SUPERSAMPLE = 4
+_REF_KERNELS = 64
+_REF_DEFOCUS_NM = 40.0
+_REF_DOSE = 1.02
+
+
+def _measure_rigorous_reference(
+    harness: Harness, mask: np.ndarray, pixel_size: float, repeats: int
+) -> dict:
+    """Time the golden engine in rigorous (sign-off) configuration."""
+    import time
+
+    fine_pixel = pixel_size / _REF_SUPERSAMPLE
+    fine_mask = np.kron(mask, np.ones((_REF_SUPERSAMPLE, _REF_SUPERSAMPLE)))
+    from ..litho.simulator import LithoSimulator
+
+    # Keep the same physical kernel ambit (~250 nm) at the finer grid.
+    support = int(round(248.0 / fine_pixel))
+    if support % 2 == 0:
+        support += 1
+    nominal = LithoSimulator(
+        pixel_size=fine_pixel,
+        num_kernels=_REF_KERNELS,
+        kernel_support=support,
+    )
+    corners = [nominal, nominal.with_defocus(_REF_DEFOCUS_NM), nominal.with_dose(_REF_DOSE)]
+    for corner in corners:  # build kernel stacks outside the timed region
+        _ = corner.kernels
+
+    def run_once() -> None:
+        for corner in corners:
+            corner.resist_image(fine_mask)
+
+    run_once()  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        run_once()
+    per_tile = (time.perf_counter() - start) / repeats
+    tile_area_um2 = (mask.shape[0] * pixel_size / 1000.0) * (mask.shape[1] * pixel_size / 1000.0)
+    return {
+        "engine": "Ref",
+        "um2_per_s": tile_area_um2 / per_tile,
+        "seconds_per_tile": per_tile,
+        "params": 0,
+    }
+
+
+def run_figure6(harness: Harness | None = None, benchmark: str = "ispd2019", repeats: int = 3) -> list[dict]:
+    """Measure throughput of every engine on one benchmark tile."""
+    harness = harness or Harness()
+    data = harness.benchmark(benchmark, "L")
+    mask = data.test.masks[0, 0]
+    pixel_size = data.test.pixel_size
+    image_size = data.test.image_size
+
+    results: list[dict] = []
+    for name, label in (("unet", "UNet"), ("damo-dls", "DAMO"), ("doinn", "Ours")):
+        model = create_model(name, image_size=image_size)
+        measurement = measure_model_throughput(
+            model, mask, pixel_size, name=label, repeats=repeats
+        )
+        results.append(
+            {
+                "engine": label,
+                "um2_per_s": measurement.um2_per_second,
+                "seconds_per_tile": measurement.seconds_per_tile,
+                "params": model.num_parameters(),
+            }
+        )
+
+    ref_row = _measure_rigorous_reference(harness, mask, pixel_size, repeats=max(1, repeats - 1))
+    results.append(ref_row)
+
+    # Derived quantities reported in the paper's abstract / §4.2.
+    by_name = {r["engine"]: r for r in results}
+    doinn = by_name["Ours"]
+    doinn["speedup_over_ref"] = doinn["um2_per_s"] / max(by_name["Ref"]["um2_per_s"], 1e-12)
+    doinn["size_ratio_vs_damo"] = by_name["DAMO"]["params"] / max(doinn["params"], 1)
+    return results
+
+
+def format_figure6(results: list[dict]) -> str:
+    body = []
+    for row in results:
+        body.append(
+            [
+                row["engine"],
+                f"{row['um2_per_s']:.2f}",
+                f"{row['seconds_per_tile'] * 1000:.1f}",
+                row["params"] if row["params"] else "-",
+            ]
+        )
+    table = format_table(
+        ["Engine", "Throughput (um^2/s)", "ms per tile", "Parameters"],
+        body,
+        title="Figure 6: Runtime comparison with state-of-the-art",
+    )
+    doinn = next(r for r in results if r["engine"] == "Ours")
+    extras = (
+        f"\nDOINN speedup over Ref engine: {doinn['speedup_over_ref']:.1f}x"
+        f"\nDAMO-DLS / DOINN parameter ratio: {doinn['size_ratio_vs_damo']:.1f}x"
+    )
+    return table + extras

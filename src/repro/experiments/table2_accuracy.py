@@ -1,0 +1,80 @@
+"""Experiment E2 — regenerate Table 2 (accuracy vs. UNet and DAMO-DLS).
+
+For every benchmark/resolution row of Table 2, train UNet, DAMO-DLS and DOINN
+with the same recipe and report mPA / mIOU on the held-out tiles.  As in the
+paper, DAMO-DLS is only evaluated at the low resolution (the published model
+"only supports 1000x1000 inputs").
+"""
+
+from __future__ import annotations
+
+from ..evaluation.evaluator import evaluate_model
+from ..utils.tables import format_table
+from .harness import Harness
+
+__all__ = ["TABLE2_ROWS", "run_table2", "format_table2"]
+
+# (benchmark key, resolution, paper row label)
+TABLE2_ROWS = [
+    ("ispd2019", "L", "ISPD-2019 (L)"),
+    ("ispd2019", "H", "ISPD-2019 (H)"),
+    ("iccad2013", "L", "ICCAD-2013 (L)"),
+    ("iccad2013", "H", "ICCAD-2013 (H)"),
+    ("n14", "L", "N14"),
+]
+
+_MODELS = ["unet", "damo-dls", "doinn"]
+
+
+def run_table2(
+    harness: Harness | None = None,
+    rows: list[tuple[str, str, str]] | None = None,
+    models: list[str] | None = None,
+) -> list[dict]:
+    """Train and evaluate every (row, model) combination of Table 2."""
+    harness = harness or Harness()
+    rows = rows or TABLE2_ROWS
+    models = models or _MODELS
+
+    results: list[dict] = []
+    for benchmark, resolution, label in rows:
+        data = harness.benchmark(benchmark, resolution)
+        row: dict = {"benchmark": label, "resolution": resolution}
+        for model_name in models:
+            if model_name == "damo-dls" and resolution.upper() == "H":
+                # Matches the "-" entries of the published table.
+                row["damo-dls"] = None
+                continue
+            model, history = harness.trained_model(model_name, benchmark, resolution)
+            score = evaluate_model(model, data.test)
+            mpa, miou = score.as_row()
+            row[model_name] = {
+                "mpa": mpa,
+                "miou": miou,
+                "params": model.num_parameters(),
+                "train_time_s": history["wall_time"],
+            }
+        results.append(row)
+    return results
+
+
+def format_table2(results: list[dict]) -> str:
+    headers = ["Benchmark", "UNet mPA", "UNet mIOU", "DAMO mPA", "DAMO mIOU", "Ours mPA", "Ours mIOU"]
+    body = []
+    for row in results:
+        def cell(model, key):
+            entry = row.get(model)
+            return f"{entry[key]:.2f}" if entry else "-"
+
+        body.append(
+            [
+                row["benchmark"],
+                cell("unet", "mpa"),
+                cell("unet", "miou"),
+                cell("damo-dls", "mpa"),
+                cell("damo-dls", "miou"),
+                cell("doinn", "mpa"),
+                cell("doinn", "miou"),
+            ]
+        )
+    return format_table(headers, body, title="Table 2: Result Comparison with State-of-the-Art (%)")

@@ -1,0 +1,89 @@
+"""Experiment E4 — regenerate Table 4 and Figure 9 (large-tile simulation).
+
+A DOINN trained on small tiles is applied to tiles ``scale`` times larger,
+once by feeding the whole tile through the network ("DOINN" row — quality
+degrades) and once with the half-overlapping large-tile scheme of §3.2
+("DOINN-LT" row — quality restored).  The predictions are also saved to an
+``.npz`` archive so the Figure 9 visual comparison can be inspected.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.largetile import LargeTileSimulator
+from ..data.benchmarks import build_large_tile_benchmark
+from ..evaluation.evaluator import evaluate_predictions
+from ..utils.tables import format_table
+from .harness import Harness, artifacts_dir
+
+__all__ = ["run_table4", "format_table4"]
+
+
+def run_table4(
+    harness: Harness | None = None,
+    benchmark: str = "ispd2019",
+    save_figure9: bool = True,
+) -> dict:
+    """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles."""
+    harness = harness or Harness()
+    profile = harness.profile
+
+    model, _ = harness.trained_model("doinn", benchmark, "L")
+    config = harness.benchmark_config(benchmark, "L")
+    simulator = harness.simulator(config.pixel_size)
+    large = build_large_tile_benchmark(
+        config,
+        simulator,
+        num_tiles=profile.large_tile_count,
+        scale=profile.large_tile_scale,
+    )
+
+    tile_size = config.image_size
+    runner = LargeTileSimulator(
+        model,
+        train_tile_size=tile_size,
+        optical_diameter_pixels=simulator.optical_diameter_pixels,
+    )
+
+    naive_predictions = np.stack([runner.predict_naive(mask[0]) for mask in large.masks])[:, None]
+    lt_predictions = np.stack([runner.predict(mask[0]) for mask in large.masks])[:, None]
+
+    naive_score = evaluate_predictions(naive_predictions, large.resists)
+    lt_score = evaluate_predictions(lt_predictions, large.resists)
+
+    figure9_path: Path | None = None
+    if save_figure9:
+        figure9_path = artifacts_dir() / "figure9_large_tile.npz"
+        np.savez_compressed(
+            figure9_path,
+            mask=large.masks[0, 0],
+            golden=large.resists[0, 0],
+            doinn=naive_predictions[0, 0],
+            doinn_lt=lt_predictions[0, 0],
+        )
+
+    naive_mpa, naive_miou = naive_score.as_row()
+    lt_mpa, lt_miou = lt_score.as_row()
+    return {
+        "benchmark": f"{benchmark}-LT",
+        "tile_um2": large.tile_area_um2,
+        "num_tiles": len(large),
+        "doinn": {"mpa": naive_mpa, "miou": naive_miou},
+        "doinn_lt": {"mpa": lt_mpa, "miou": lt_miou},
+        "figure9_path": str(figure9_path) if figure9_path else None,
+    }
+
+
+def format_table4(result: dict) -> str:
+    return format_table(
+        ["ISPD-2019-LT", "mPA (%)", "mIOU (%)"],
+        [
+            ["DOINN", f"{result['doinn']['mpa']:.2f}", f"{result['doinn']['miou']:.2f}"],
+            ["DOINN-LT", f"{result['doinn_lt']['mpa']:.2f}", f"{result['doinn_lt']['miou']:.2f}"],
+        ],
+        title=f"Table 4: Large Tile Simulation Scheme ({result['num_tiles']} tiles of "
+        f"{result['tile_um2']:.1f} um^2)",
+    )

@@ -1,0 +1,40 @@
+"""Experiment E8 — regenerate Tables 5-7 (the DOINN architecture appendix).
+
+Instantiates the paper's exact configuration and prints per-path layer shapes
+together with the total parameter count, which must land near the published
+1.3 M parameters.
+"""
+
+from __future__ import annotations
+
+from ..core.doinn import DOINN, DOINNConfig
+from ..utils.tables import format_table
+
+__all__ = ["run_table5_7", "format_table5_7"]
+
+
+def run_table5_7(image_size: int = 2048) -> dict:
+    """Build the paper-scale DOINN and summarize its layers and size."""
+    model = DOINN(DOINNConfig.paper())
+    rows = model.summary(image_size=image_size)
+    return {
+        "rows": rows,
+        "parameters": model.num_parameters(),
+        "image_size": image_size,
+        "modes_per_axis": 2 * model.config.modes,
+        "gp_channels": model.config.gp_channels,
+    }
+
+
+def format_table5_7(result: dict) -> str:
+    table = format_table(
+        ["Path", "Layer", "Output (H, W, C)"],
+        [[row["path"], row["layer"], "x".join(str(v) for v in row["output"])] for row in result["rows"]],
+        title=f"Tables 5-7: DOINN architecture at {result['image_size']}x{result['image_size']} input",
+    )
+    extras = (
+        f"\nRetained frequency block: {result['modes_per_axis']}x{result['modes_per_axis']}"
+        f"\nGP channels: {result['gp_channels']}"
+        f"\nTotal trainable parameters: {result['parameters']:,} (paper: ~1.3 M)"
+    )
+    return table + extras

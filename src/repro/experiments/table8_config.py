@@ -1,0 +1,34 @@
+"""Experiment E9 — regenerate Table 8 (training configurations).
+
+Prints the published training recipe next to the scaled recipe actually used
+by the reduced-size experiments of this reproduction.
+"""
+
+from __future__ import annotations
+
+from ..training.config import TrainingConfig
+from ..utils.tables import format_table
+from .harness import Harness
+
+__all__ = ["run_table8", "format_table8"]
+
+
+def run_table8(harness: Harness | None = None) -> dict:
+    harness = harness or Harness()
+    return {
+        "paper": TrainingConfig.paper().as_rows(),
+        "used_low": harness.training_config("L").as_rows(),
+        "used_high": harness.training_config("H").as_rows(),
+        "profile": harness.profile.name,
+    }
+
+
+def format_table8(result: dict) -> str:
+    paper = dict(result["paper"])
+    used = dict(result["used_low"])
+    rows = [[key, paper[key], used.get(key, "-")] for key in paper]
+    return format_table(
+        ["Setting", "Paper (Table 8)", f"This run ({result['profile']} profile, L rows)"],
+        rows,
+        title="Table 8: Training configurations",
+    )

@@ -1,0 +1,34 @@
+"""Layout substrate: geometry, design rules, synthetic generators, rasterization, tiling."""
+
+from .design_rules import DesignRules, ICCAD2013_RULES, ISPD2019_RULES, N14_RULES, rules_for
+from .generators import (
+    generate_large_layout,
+    generate_layout,
+    generate_metal_layout,
+    generate_via_layout,
+)
+from .geometry import Layout, Rect
+from .rasterize import coverage_rasterize, rasterize, rasterize_rect
+from .tiling import TileSpec, assemble_image, extract_tiles, split_image, stitch_cores
+
+__all__ = [
+    "DesignRules",
+    "ICCAD2013_RULES",
+    "ISPD2019_RULES",
+    "N14_RULES",
+    "rules_for",
+    "Layout",
+    "Rect",
+    "generate_layout",
+    "generate_via_layout",
+    "generate_metal_layout",
+    "generate_large_layout",
+    "rasterize",
+    "rasterize_rect",
+    "coverage_rasterize",
+    "TileSpec",
+    "extract_tiles",
+    "stitch_cores",
+    "split_image",
+    "assemble_image",
+]

@@ -1,0 +1,92 @@
+"""Design-rule parameter sets for the synthetic benchmark generators.
+
+The paper evaluates on three benchmark families (Table 1).  The real layouts
+are not redistributable, so each family is replaced by a parameterized
+generator whose design rules reproduce the salient statistics the paper
+relies on:
+
+* **ICCAD-2013** — metal layer (M1) tiles, 32 nm-class rules, moderate density.
+* **ISPD-2019** — via layer tiles from a detailed-routing testcase; regular
+  via sizes on a coarse grid, low-to-moderate density.
+* **N14** — a 14 nm-node via layer; smaller vias, tighter pitch, high density.
+
+All dimensions are in nanometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DesignRules", "ICCAD2013_RULES", "ISPD2019_RULES", "N14_RULES", "rules_for"]
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Minimal design-rule set used by the layout generators."""
+
+    name: str
+    layer_type: str            # "metal" or "via"
+    tile_size: float           # edge of a square tile in nm (paper: 2000 nm = 4 um^2)
+    min_width: float           # minimum feature width
+    min_space: float           # minimum spacing between features
+    pitch: float               # placement grid pitch
+    via_size: float            # via edge length (via layers)
+    max_wire_length: float     # maximum metal segment length (metal layers)
+    target_density: float      # nominal pattern density
+
+    def __post_init__(self) -> None:
+        if self.min_width <= 0 or self.min_space <= 0 or self.pitch <= 0:
+            raise ValueError("design-rule dimensions must be positive")
+        if not 0.0 < self.target_density < 1.0:
+            raise ValueError("target_density must lie in (0, 1)")
+
+
+ICCAD2013_RULES = DesignRules(
+    name="iccad2013",
+    layer_type="metal",
+    tile_size=2048.0,
+    min_width=64.0,
+    min_space=64.0,
+    pitch=128.0,
+    via_size=0.0,
+    max_wire_length=1024.0,
+    target_density=0.18,
+)
+
+ISPD2019_RULES = DesignRules(
+    name="ispd2019",
+    layer_type="via",
+    tile_size=2048.0,
+    min_width=56.0,
+    min_space=72.0,
+    pitch=128.0,
+    via_size=56.0,
+    max_wire_length=0.0,
+    target_density=0.06,
+)
+
+N14_RULES = DesignRules(
+    name="n14",
+    layer_type="via",
+    tile_size=2048.0,
+    min_width=40.0,
+    min_space=48.0,
+    pitch=88.0,
+    via_size=40.0,
+    max_wire_length=0.0,
+    target_density=0.12,
+)
+
+_RULE_SETS = {
+    "iccad2013": ICCAD2013_RULES,
+    "ispd2019": ISPD2019_RULES,
+    "n14": N14_RULES,
+}
+
+
+def rules_for(benchmark: str) -> DesignRules:
+    """Look up the design rules for a benchmark family by name."""
+    key = benchmark.lower()
+    if key not in _RULE_SETS:
+        raise KeyError(f"unknown benchmark '{benchmark}'; available: {sorted(_RULE_SETS)}")
+    return _RULE_SETS[key]

@@ -1,0 +1,156 @@
+"""Synthetic layout generators standing in for the paper's benchmarks.
+
+The paper's training sets are produced with "an open source layout generator
+following the same design rules as designs in [the ISPD-2019 contest]" — i.e.
+the authors themselves train on synthetic layouts.  We follow the same recipe:
+
+* :func:`generate_via_layout` — random legal via placements on a routing grid
+  (ISPD-2019 and N14 families).
+* :func:`generate_metal_layout` — Manhattan routed metal segments on tracks
+  (ICCAD-2013 family).
+* :func:`generate_layout` — dispatch by design-rule set.
+* :func:`generate_large_layout` — a large tile (paper: 64 µm²) assembled from
+  the same statistics, used by the large-tile simulation experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .design_rules import DesignRules
+from .geometry import Layout, Rect
+
+__all__ = [
+    "generate_via_layout",
+    "generate_metal_layout",
+    "generate_layout",
+    "generate_large_layout",
+]
+
+
+def _place_non_overlapping(
+    candidates: list[Rect], min_space: float, bounds: Rect, target_area: float
+) -> list[Rect]:
+    """Greedily keep candidate shapes that respect spacing, until target area."""
+    kept: list[Rect] = []
+    area = 0.0
+    for rect in candidates:
+        if area >= target_area:
+            break
+        if not bounds.contains_rect(rect):
+            continue
+        grown = rect.expanded(min_space)
+        if any(grown.intersects(existing) for existing in kept):
+            continue
+        kept.append(rect)
+        area += rect.area
+    return kept
+
+
+def generate_via_layout(
+    rules: DesignRules,
+    rng: np.random.Generator,
+    tile_size: float | None = None,
+    density_scale: float = 1.0,
+) -> Layout:
+    """Generate a via-layer tile: square contacts on a placement grid.
+
+    Vias are placed at random grid sites; occasional via clusters (doubled or
+    lined-up vias, as produced by redundant-via insertion in real flows) are
+    included so the generator covers both isolated and dense neighbourhoods.
+    """
+    size = tile_size or rules.tile_size
+    bounds = Rect(0.0, 0.0, size, size)
+    target_density = min(0.95, rules.target_density * density_scale)
+    target_area = target_density * bounds.area
+
+    sites_per_axis = int(size // rules.pitch)
+    candidates: list[Rect] = []
+    n_candidates = max(4, int(4 * target_area / max(rules.via_size, 1.0) ** 2))
+    xs = rng.integers(0, sites_per_axis, size=n_candidates)
+    ys = rng.integers(0, sites_per_axis, size=n_candidates)
+    cluster = rng.random(n_candidates)
+    for x_site, y_site, c in zip(xs, ys, cluster):
+        x0 = x_site * rules.pitch + (rules.pitch - rules.via_size) / 2.0
+        y0 = y_site * rules.pitch + (rules.pitch - rules.via_size) / 2.0
+        candidates.append(Rect(x0, y0, x0 + rules.via_size, y0 + rules.via_size))
+        if c > 0.8 and (x_site + 1) < sites_per_axis:
+            # Redundant-via pair in the x direction.
+            x0b = x0 + rules.pitch
+            candidates.append(Rect(x0b, y0, x0b + rules.via_size, y0 + rules.via_size))
+
+    shapes = _place_non_overlapping(candidates, rules.min_space, bounds, target_area)
+    layout = Layout(bounds=bounds, shapes=shapes, name=rules.name)
+    return layout
+
+
+def generate_metal_layout(
+    rules: DesignRules,
+    rng: np.random.Generator,
+    tile_size: float | None = None,
+    density_scale: float = 1.0,
+) -> Layout:
+    """Generate a metal-layer tile: horizontal/vertical wire segments on tracks."""
+    size = tile_size or rules.tile_size
+    bounds = Rect(0.0, 0.0, size, size)
+    target_density = min(0.95, rules.target_density * density_scale)
+    target_area = target_density * bounds.area
+
+    n_tracks = int(size // rules.pitch)
+    candidates: list[Rect] = []
+    n_candidates = max(16, int(10 * target_area / (rules.min_width * rules.max_wire_length)))
+    for _ in range(n_candidates):
+        horizontal = rng.random() < 0.5
+        track = int(rng.integers(0, n_tracks))
+        length = float(
+            rng.uniform(2.0 * rules.min_width, rules.max_wire_length)
+        )
+        start = float(rng.uniform(0.0, max(size - length, 1.0)))
+        offset = track * rules.pitch + (rules.pitch - rules.min_width) / 2.0
+        width = rules.min_width * float(rng.choice([1.0, 1.0, 1.0, 2.0]))
+        if horizontal:
+            rect = Rect(start, offset, start + length, offset + width)
+        else:
+            rect = Rect(offset, start, offset + width, start + length)
+        if bounds.contains_rect(rect):
+            candidates.append(rect)
+
+    shapes = _place_non_overlapping(candidates, rules.min_space, bounds, target_area)
+    return Layout(bounds=bounds, shapes=shapes, name=rules.name)
+
+
+def generate_layout(
+    rules: DesignRules,
+    rng: np.random.Generator,
+    tile_size: float | None = None,
+    density_scale: float = 1.0,
+) -> Layout:
+    """Generate one tile according to the layer type of the rule set."""
+    if rules.layer_type == "via":
+        return generate_via_layout(rules, rng, tile_size, density_scale)
+    if rules.layer_type == "metal":
+        return generate_metal_layout(rules, rng, tile_size, density_scale)
+    raise ValueError(f"unknown layer type '{rules.layer_type}'")
+
+
+def generate_large_layout(
+    rules: DesignRules,
+    rng: np.random.Generator,
+    scale: int = 4,
+    density_scale: float = 1.5,
+) -> Layout:
+    """Generate a large tile ``scale x scale`` times the nominal tile size.
+
+    Used for the large-tile simulation experiment (paper §4.6: ten dense
+    64 µm² tiles, i.e. ``scale = 4`` relative to the 4 µm² training tiles, with
+    above-average via density).
+    """
+    size = rules.tile_size * scale
+    bounds = Rect(0.0, 0.0, size, size)
+    layout = Layout(bounds=bounds, name=f"{rules.name}-large")
+    for bx in range(scale):
+        for by in range(scale):
+            sub = generate_layout(rules, rng, tile_size=rules.tile_size, density_scale=density_scale)
+            dx, dy = bx * rules.tile_size, by * rules.tile_size
+            layout.extend(shape.translated(dx, dy) for shape in sub.shapes)
+    return layout

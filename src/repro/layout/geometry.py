@@ -1,0 +1,130 @@
+"""Layout geometry primitives.
+
+Coordinates are in nanometres.  Layouts are collections of axis-aligned
+rectangles (vias, metal segments, SRAFs), which covers everything the paper's
+benchmarks contain: via layers are arrays of square contacts, metal layers are
+Manhattan routed wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Rect", "Layout"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[x0, x1) x [y0, y1)`` in nanometres."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def expanded(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) the rectangle on every side."""
+        return Rect(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            self.x1 <= other.x0
+            or other.x1 <= self.x0
+            or self.y1 <= other.y0
+            or other.y1 <= self.y0
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        x0, y0 = max(self.x0, other.x0), max(self.y0, other.y0)
+        x1, y1 = min(self.x1, other.x1), min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def clipped_to(self, bounds: "Rect") -> "Rect | None":
+        return self.intersection(bounds)
+
+
+@dataclass
+class Layout:
+    """A collection of rectangles on a single layer within a bounding box."""
+
+    bounds: Rect
+    shapes: list[Rect] = field(default_factory=list)
+    name: str = "layout"
+
+    def add(self, shape: Rect) -> None:
+        self.shapes.append(shape)
+
+    def extend(self, shapes: Iterable[Rect]) -> None:
+        self.shapes.extend(shapes)
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self.shapes)
+
+    @property
+    def total_area(self) -> float:
+        """Sum of shape areas (shapes are assumed non-overlapping)."""
+        return sum(shape.area for shape in self.shapes)
+
+    @property
+    def density(self) -> float:
+        """Pattern density: shape area divided by the bounding-box area."""
+        if self.bounds.area == 0:
+            return 0.0
+        return self.total_area / self.bounds.area
+
+    def clipped(self, window: Rect, min_area: float = 0.0) -> "Layout":
+        """Return a new layout containing the shapes clipped to ``window``.
+
+        Shapes whose clipped area falls below ``min_area`` are dropped; the
+        clipped layout is re-referenced to the window's origin.
+        """
+        clipped = Layout(bounds=Rect(0.0, 0.0, window.width, window.height), name=self.name)
+        for shape in self.shapes:
+            piece = shape.clipped_to(window)
+            if piece is not None and piece.area > min_area:
+                clipped.add(piece.translated(-window.x0, -window.y0))
+        return clipped
+
+    def window(self, window: Rect) -> "Layout":
+        """Alias of :meth:`clipped` kept for readability at call sites."""
+        return self.clipped(window)

@@ -1,0 +1,130 @@
+"""Tile extraction for large-tile simulation (paper §3.2, Figure 5).
+
+The large-tile global-perception scheme cuts an ``sH x sW`` mask image into
+half-overlapping tiles of the training size ``H x W``; the central *core*
+region of each tile (everything further than half the optical diameter from
+the tile boundary) is stitched back together to cover the core of the large
+tile exactly (paper eq. (13)-(14)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TileSpec", "extract_tiles", "stitch_cores", "split_image", "assemble_image"]
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """Location of one tile inside a large image.
+
+    ``row``/``col`` index the half-overlapping tile grid; ``y0``/``x0`` are the
+    pixel offsets of the tile's top-left corner inside the large image.
+    """
+
+    row: int
+    col: int
+    y0: int
+    x0: int
+    size: int
+
+
+def extract_tiles(image: np.ndarray, tile_size: int) -> tuple[np.ndarray, list[TileSpec]]:
+    """Cut ``image`` into half-overlapping ``tile_size``-sized tiles.
+
+    The stride is ``tile_size // 2`` so consecutive tiles overlap by half, as
+    required by the paper's large-tile scheme.  The image must be an integer
+    multiple of ``tile_size`` in both dimensions.
+
+    Returns
+    -------
+    tiles:
+        Array of shape ``(n_tiles, tile_size, tile_size)``.
+    specs:
+        Tile locations, in the same order.
+    """
+    h, w = image.shape
+    if h % tile_size or w % tile_size:
+        raise ValueError(f"image size {(h, w)} is not a multiple of tile size {tile_size}")
+    stride = tile_size // 2
+    n_rows = (h - tile_size) // stride + 1
+    n_cols = (w - tile_size) // stride + 1
+    tiles = np.empty((n_rows * n_cols, tile_size, tile_size), dtype=image.dtype)
+    specs: list[TileSpec] = []
+    index = 0
+    for row in range(n_rows):
+        for col in range(n_cols):
+            y0, x0 = row * stride, col * stride
+            tiles[index] = image[y0 : y0 + tile_size, x0 : x0 + tile_size]
+            specs.append(TileSpec(row=row, col=col, y0=y0, x0=x0, size=tile_size))
+            index += 1
+    return tiles, specs
+
+
+def stitch_cores(
+    tiles: np.ndarray,
+    specs: list[TileSpec],
+    output_shape: tuple[int, int],
+    margin: int,
+) -> np.ndarray:
+    """Stitch the core regions of processed tiles back into a large image.
+
+    ``margin`` is half the optical diameter in pixels (``d / 2`` in the paper):
+    only the region further than ``margin`` from a tile edge is trusted.  Tiles
+    are written in scan order so each output pixel receives the value from one
+    covering tile's core.  The outer ``margin`` ring of the large image cannot
+    be covered by any core and keeps the value of the nearest tile.
+
+    ``tiles`` may be 3-D ``(n, t, t)`` or 4-D ``(n, c, t, t)``; the stitched
+    output has shape ``output_shape`` or ``(c, *output_shape)`` accordingly.
+    """
+    has_channels = tiles.ndim == 4
+    h, w = output_shape
+    if has_channels:
+        output = np.zeros((tiles.shape[1], h, w), dtype=tiles.dtype)
+    else:
+        output = np.zeros((h, w), dtype=tiles.dtype)
+
+    for tile, spec in zip(tiles, specs):
+        t = spec.size
+        # Core region within the tile; expand to the image border when the
+        # tile touches it (no neighbouring tile can cover that ring).
+        cy0 = 0 if spec.y0 == 0 else margin
+        cx0 = 0 if spec.x0 == 0 else margin
+        cy1 = t if spec.y0 + t == h else t - margin
+        cx1 = t if spec.x0 + t == w else t - margin
+        oy0, ox0 = spec.y0 + cy0, spec.x0 + cx0
+        oy1, ox1 = spec.y0 + cy1, spec.x0 + cx1
+        if has_channels:
+            output[:, oy0:oy1, ox0:ox1] = tile[:, cy0:cy1, cx0:cx1]
+        else:
+            output[oy0:oy1, ox0:ox1] = tile[cy0:cy1, cx0:cx1]
+    return output
+
+
+def split_image(image: np.ndarray, tile_size: int) -> tuple[np.ndarray, list[TileSpec]]:
+    """Cut an image into non-overlapping tiles (utility for batching)."""
+    h, w = image.shape
+    if h % tile_size or w % tile_size:
+        raise ValueError(f"image size {(h, w)} is not a multiple of tile size {tile_size}")
+    n_rows, n_cols = h // tile_size, w // tile_size
+    tiles = np.empty((n_rows * n_cols, tile_size, tile_size), dtype=image.dtype)
+    specs = []
+    index = 0
+    for row in range(n_rows):
+        for col in range(n_cols):
+            y0, x0 = row * tile_size, col * tile_size
+            tiles[index] = image[y0 : y0 + tile_size, x0 : x0 + tile_size]
+            specs.append(TileSpec(row=row, col=col, y0=y0, x0=x0, size=tile_size))
+            index += 1
+    return tiles, specs
+
+
+def assemble_image(tiles: np.ndarray, specs: list[TileSpec], output_shape: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`split_image`."""
+    output = np.zeros(output_shape, dtype=tiles.dtype)
+    for tile, spec in zip(tiles, specs):
+        output[spec.y0 : spec.y0 + spec.size, spec.x0 : spec.x0 + spec.size] = tile
+    return output

@@ -1,0 +1,23 @@
+"""Golden lithography simulator: Hopkins/SOCS optics and resist models."""
+
+from .hopkins import aerial_image, clear_field_intensity
+from .kernels import SOCSKernels, compute_tcc_matrix, generate_kernels
+from .optics import OpticalSettings, pupil_function, source_points
+from .resist import ConstantThresholdResist, ResistModel, SigmoidResist
+from .simulator import LithoSimulator, SimulationResult
+
+__all__ = [
+    "OpticalSettings",
+    "pupil_function",
+    "source_points",
+    "SOCSKernels",
+    "compute_tcc_matrix",
+    "generate_kernels",
+    "aerial_image",
+    "clear_field_intensity",
+    "ConstantThresholdResist",
+    "SigmoidResist",
+    "ResistModel",
+    "LithoSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,174 @@
+"""SOCS lithography kernels from the Hopkins transmission cross coefficients.
+
+The Hopkins model expresses the aerial image through the transmission cross
+coefficient (TCC) operator.  The standard "sum of coherent systems" (SOCS)
+approximation — eq. (1)-(2) of the paper — diagonalizes the TCC and keeps the
+``l`` largest eigenvalues ``alpha_k`` with eigenfunctions ``h_k``; the image is
+then a weighted sum of coherent images.
+
+This module builds the TCC numerically on a frequency grid from the optical
+settings (source + pupil), eigendecomposes it and returns spatial-domain
+kernels sampled at the mask pixel size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .optics import OpticalSettings, pupil_function, source_points
+
+__all__ = ["SOCSKernels", "compute_tcc_matrix", "generate_kernels"]
+
+
+@dataclass(frozen=True)
+class SOCSKernels:
+    """A stack of SOCS kernels and their eigenvalues.
+
+    Attributes
+    ----------
+    kernels:
+        Complex array of shape ``(l, K, K)``: spatial-domain kernels sampled at
+        ``pixel_size``.
+    eigenvalues:
+        The associated ``alpha_k`` weights, descending, length ``l``.
+    pixel_size:
+        Sampling pitch of the kernels in nm.
+    settings:
+        The optical settings the kernels were derived from.
+    """
+
+    kernels: np.ndarray
+    eigenvalues: np.ndarray
+    pixel_size: float
+    settings: OpticalSettings
+
+    @property
+    def count(self) -> int:
+        return int(self.kernels.shape[0])
+
+    @property
+    def support(self) -> int:
+        """Kernel support size in pixels."""
+        return int(self.kernels.shape[-1])
+
+    def truncated(self, count: int) -> "SOCSKernels":
+        """Keep only the ``count`` kernels with the largest eigenvalues."""
+        count = min(count, self.count)
+        return SOCSKernels(
+            kernels=self.kernels[:count],
+            eigenvalues=self.eigenvalues[:count],
+            pixel_size=self.pixel_size,
+            settings=self.settings,
+        )
+
+
+def _frequency_grid(settings: OpticalSettings, grid_size: int) -> tuple[np.ndarray, np.ndarray, float]:
+    """Frequency sample coordinates covering the pupil passband."""
+    f_max = settings.cutoff_frequency
+    axis = np.linspace(-f_max, f_max, grid_size)
+    fx, fy = np.meshgrid(axis, axis, indexing="ij")
+    spacing = axis[1] - axis[0]
+    return fx, fy, spacing
+
+
+def compute_tcc_matrix(
+    settings: OpticalSettings,
+    grid_size: int = 21,
+    source_samples: int = 17,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build the TCC as a Hermitian matrix over the discretized pupil grid.
+
+    Returns
+    -------
+    tcc:
+        Hermitian matrix of shape ``(G, G)`` with ``G = grid_size ** 2``.
+    fx, fy:
+        The frequency coordinates of the grid (each of shape
+        ``(grid_size, grid_size)``), needed to map eigenvectors back to
+        spatial-domain kernels.
+    """
+    fx, fy, _ = _frequency_grid(settings, grid_size)
+    points, weights = source_points(settings, source_samples)
+
+    flat_fx = fx.reshape(-1)
+    flat_fy = fy.reshape(-1)
+    # Rows: source points; columns: pupil grid frequencies shifted by the source.
+    shifted_fx = points[:, 0:1] + flat_fx[None, :]
+    shifted_fy = points[:, 1:2] + flat_fy[None, :]
+    pupil = pupil_function(shifted_fx, shifted_fy, settings)      # (S, G)
+    weighted = pupil * weights[:, None]
+    tcc = weighted.conj().T @ pupil                                # (G, G)
+    # Enforce exact Hermitian symmetry against numerical noise.
+    tcc = 0.5 * (tcc + tcc.conj().T)
+    return tcc, fx, fy
+
+
+def generate_kernels(
+    settings: OpticalSettings | None = None,
+    num_kernels: int = 12,
+    pixel_size: float = 8.0,
+    kernel_support: int = 35,
+    grid_size: int = 21,
+    source_samples: int = 17,
+) -> SOCSKernels:
+    """Generate SOCS kernels for the given optical settings.
+
+    Parameters
+    ----------
+    settings:
+        Optical configuration (defaults to the 193i annular setup).
+    num_kernels:
+        Number of eigenvalues/kernels to keep (``l`` in paper eq. (2)).
+    pixel_size:
+        Mask pixel size in nm at which the kernels are sampled.
+    kernel_support:
+        Spatial support of each kernel in pixels (odd; the kernel is centred).
+    grid_size:
+        Number of frequency samples per axis used to discretize the TCC.
+    source_samples:
+        Number of samples per axis used to discretize the source.
+    """
+    settings = settings or OpticalSettings()
+    if kernel_support % 2 == 0:
+        raise ValueError("kernel_support must be odd so the kernel has a centre pixel")
+
+    tcc, fx, fy = compute_tcc_matrix(settings, grid_size, source_samples)
+    eigenvalues, eigenvectors = np.linalg.eigh(tcc)
+    # eigh returns ascending order; flip to descending.
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+
+    num_kernels = min(num_kernels, eigenvalues.size)
+    eigenvalues = np.clip(eigenvalues[:num_kernels], 0.0, None)
+    eigenvectors = eigenvectors[:, :num_kernels]
+
+    # Spatial sampling points of the kernel support, centred at zero.
+    half = kernel_support // 2
+    coords = (np.arange(kernel_support) - half) * pixel_size      # nm
+    xx, yy = np.meshgrid(coords, coords, indexing="ij")
+
+    flat_fx = fx.reshape(-1)
+    flat_fy = fy.reshape(-1)
+    # Inverse Fourier synthesis of each eigenvector onto the spatial grid:
+    # h_k(x, y) = sum_f phi_k(f) exp(+i 2 pi (fx x + fy y)).
+    phase = np.exp(
+        2j * np.pi * (xx.reshape(-1, 1) * flat_fx[None, :] + yy.reshape(-1, 1) * flat_fy[None, :])
+    )                                                              # (K*K, G)
+    kernels = (phase @ eigenvectors).T.reshape(num_kernels, kernel_support, kernel_support)
+
+    # Normalize so that the dominant kernel has unit L2 norm; fold the grid
+    # measure into the eigenvalues instead of the kernels.
+    norm = np.linalg.norm(kernels[0])
+    if norm > 0:
+        kernels = kernels / norm
+        eigenvalues = eigenvalues * norm**2
+    # Scale eigenvalues so that a fully open mask gives intensity ~1.0.
+    return SOCSKernels(
+        kernels=kernels,
+        eigenvalues=eigenvalues,
+        pixel_size=pixel_size,
+        settings=settings,
+    )

@@ -1,0 +1,65 @@
+"""Resist models mapping aerial intensity to printed wafer contours.
+
+The paper uses "a constant threshold resist model to obtain the final wafer
+contours" (§2.1); :class:`ConstantThresholdResist` implements that.  A smooth
+:class:`SigmoidResist` is also provided — it is the standard differentiable
+relaxation used by OPC/ILT engines and by the OPC substrate in this repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ResistModel", "ConstantThresholdResist", "SigmoidResist"]
+
+
+class ResistModel:
+    """Interface: maps an aerial intensity image to a resist (wafer) image."""
+
+    def develop(self, aerial: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, aerial: np.ndarray) -> np.ndarray:
+        return self.develop(aerial)
+
+
+@dataclass(frozen=True)
+class ConstantThresholdResist(ResistModel):
+    """Binary resist: exposed where the aerial intensity exceeds ``threshold``.
+
+    The threshold is expressed relative to the clear-field intensity (the
+    aerial image must be normalized, which :func:`repro.litho.aerial_image`
+    does by default).
+    """
+
+    threshold: float = 0.225
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must lie strictly between 0 and 1")
+
+    def develop(self, aerial: np.ndarray) -> np.ndarray:
+        return (np.asarray(aerial) >= self.threshold).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class SigmoidResist(ResistModel):
+    """Smooth resist model: logistic function of the aerial intensity.
+
+    ``steepness`` controls how sharp the transition is; as it grows the model
+    converges to :class:`ConstantThresholdResist` with the same threshold.
+    """
+
+    threshold: float = 0.225
+    steepness: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must lie strictly between 0 and 1")
+        if self.steepness <= 0.0:
+            raise ValueError("steepness must be positive")
+
+    def develop(self, aerial: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-self.steepness * (np.asarray(aerial) - self.threshold)))

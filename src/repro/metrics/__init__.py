@@ -1,0 +1,21 @@
+"""Evaluation metrics: mIOU/mPA (paper §2.2) and contour distance statistics."""
+
+from .contour import contour_distance_stats, critical_dimension, extract_contour
+from .segmentation import (
+    confusion_counts,
+    iou,
+    mean_iou,
+    mean_pixel_accuracy,
+    pixel_accuracy,
+)
+
+__all__ = [
+    "iou",
+    "pixel_accuracy",
+    "mean_iou",
+    "mean_pixel_accuracy",
+    "confusion_counts",
+    "extract_contour",
+    "contour_distance_stats",
+    "critical_dimension",
+]

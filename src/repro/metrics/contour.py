@@ -1,0 +1,68 @@
+"""Contour-level metrics: boundary extraction and contour distance statistics.
+
+These complement the pixel metrics of :mod:`repro.metrics.segmentation` with
+edge-oriented measurements closer to how silicon rule checks judge a printed
+pattern (the "more stringent benchmarking criteria" the paper's conclusion
+mentions as future work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["extract_contour", "contour_distance_stats", "critical_dimension"]
+
+
+def extract_contour(image: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Return a boolean image marking the boundary pixels of the printed region.
+
+    A boundary pixel is a printed pixel with at least one unprinted 4-neighbour.
+    """
+    binary = np.asarray(image) >= threshold
+    eroded = ndimage.binary_erosion(binary, structure=np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]]))
+    return binary & ~eroded
+
+
+def contour_distance_stats(
+    prediction: np.ndarray, target: np.ndarray, threshold: float = 0.5
+) -> dict[str, float]:
+    """Distance statistics between the predicted and ground-truth contours.
+
+    For every pixel on the predicted contour the Euclidean distance to the
+    nearest target-contour pixel is computed (and vice versa); the mean of the
+    two directed means is a symmetric Chamfer-style distance, and the maximum
+    is a Hausdorff-style worst case.  Distances are in pixels.
+    """
+    pred_contour = extract_contour(prediction, threshold)
+    target_contour = extract_contour(target, threshold)
+    if not pred_contour.any() and not target_contour.any():
+        return {"mean": 0.0, "max": 0.0}
+    if not pred_contour.any() or not target_contour.any():
+        diag = float(np.hypot(*prediction.shape))
+        return {"mean": diag, "max": diag}
+
+    distance_to_target = ndimage.distance_transform_edt(~target_contour)
+    distance_to_pred = ndimage.distance_transform_edt(~pred_contour)
+    forward = distance_to_target[pred_contour]
+    backward = distance_to_pred[target_contour]
+    return {
+        "mean": float(0.5 * (forward.mean() + backward.mean())),
+        "max": float(max(forward.max(), backward.max())),
+    }
+
+
+def critical_dimension(image: np.ndarray, row: int, threshold: float = 0.5) -> float:
+    """Measure the printed width (in pixels) of the feature crossing ``row``.
+
+    Returns the length of the longest printed run on that row — the standard
+    1-D critical-dimension (CD) cut used to compare printed and target line
+    widths.  Returns 0.0 when nothing prints on the row.
+    """
+    line = np.asarray(image)[row] >= threshold
+    best = 0
+    current = 0
+    for value in line:
+        current = current + 1 if value else 0
+        best = max(best, current)
+    return float(best)

@@ -1,0 +1,72 @@
+"""Segmentation metrics: mean IOU and mean pixel accuracy (paper §2.2).
+
+The paper treats lithography modeling as two-class pixel classification
+(printed contour vs. background) and reports
+
+* ``mIOU = (1/k) * sum_i |P_i ∩ G_i| / |P_i ∪ G_i|`` (Definition 1), and
+* ``mPA  = (1/k) * sum_i |P_i ∩ G_i| / |G_i|``        (Definition 2),
+
+averaged over the ``k = 2`` classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["iou", "pixel_accuracy", "mean_iou", "mean_pixel_accuracy", "confusion_counts"]
+
+
+def _binarize_pair(prediction: np.ndarray, target: np.ndarray, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction) >= threshold
+    target = np.asarray(target) >= threshold
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    return prediction, target
+
+
+def confusion_counts(prediction: np.ndarray, target: np.ndarray, threshold: float = 0.5) -> dict[str, int]:
+    """True/false positive/negative pixel counts for the foreground class."""
+    p, g = _binarize_pair(prediction, target, threshold)
+    return {
+        "tp": int(np.sum(p & g)),
+        "fp": int(np.sum(p & ~g)),
+        "fn": int(np.sum(~p & g)),
+        "tn": int(np.sum(~p & ~g)),
+    }
+
+
+def iou(prediction: np.ndarray, target: np.ndarray, threshold: float = 0.5) -> float:
+    """Intersection over union of the foreground (printed) class.
+
+    Both images empty counts as a perfect match (IOU = 1).
+    """
+    p, g = _binarize_pair(prediction, target, threshold)
+    union = np.sum(p | g)
+    if union == 0:
+        return 1.0
+    return float(np.sum(p & g) / union)
+
+
+def pixel_accuracy(prediction: np.ndarray, target: np.ndarray, threshold: float = 0.5) -> float:
+    """Per-class pixel accuracy of the foreground class (|P ∩ G| / |G|)."""
+    p, g = _binarize_pair(prediction, target, threshold)
+    total = np.sum(g)
+    if total == 0:
+        return 1.0
+    return float(np.sum(p & g) / total)
+
+
+def mean_iou(prediction: np.ndarray, target: np.ndarray, threshold: float = 0.5) -> float:
+    """Two-class mean IOU as defined in the paper (Definition 1)."""
+    p, g = _binarize_pair(prediction, target, threshold)
+    foreground = iou(p, g)
+    background = iou(~p, ~g)
+    return 0.5 * (foreground + background)
+
+
+def mean_pixel_accuracy(prediction: np.ndarray, target: np.ndarray, threshold: float = 0.5) -> float:
+    """Two-class mean pixel accuracy as defined in the paper (Definition 2)."""
+    p, g = _binarize_pair(prediction, target, threshold)
+    foreground = pixel_accuracy(p, g)
+    background = pixel_accuracy(~p, ~g)
+    return 0.5 * (foreground + background)

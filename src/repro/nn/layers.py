@@ -1,0 +1,382 @@
+"""Neural-network layers (modules) built on the autograd tensor.
+
+The module system follows PyTorch's ``nn.Module`` conventions closely so the
+model definitions in :mod:`repro.core` map one-to-one onto the architecture
+tables in the paper's appendix (Tables 5-7).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .spectral import fourier_unit, spectral_conv2d
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Conv2d",
+    "ConvTranspose2d",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "UpsampleNearest2d",
+    "OptimizedFourierUnit",
+    "FNOFourierLayer",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._modules: OrderedDict[str, "Module"] = OrderedDict()
+        self._buffers: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.training = True
+
+    # -- registration ------------------------------------------------- #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ---------------------------------------------------- #
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield prefix + name, getattr(self, name)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters (paper: model size)."""
+        return sum(p.size for p in self.parameters())
+
+    # -- state -------------------------------------------------------- #
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state["buffer." + name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, param in params.items():
+            if name not in state:
+                raise KeyError(f"missing parameter '{name}' in state dict")
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype, copy=True)
+        for name, _ in self.named_buffers():
+            key = "buffer." + name
+            if key in state:
+                buf = self._find_buffer_owner(name)
+                buf_name = name.split(".")[-1]
+                stored = getattr(buf, buf_name)
+                stored[...] = state[key]
+
+    def _find_buffer_owner(self, dotted_name: str) -> "Module":
+        parts = dotted_name.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        return module
+
+    # -- forward ------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Conv2d(Module):
+    """2-D convolution layer (cross-correlation), PyTorch weight layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng or init.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class ConvTranspose2d(Module):
+    """2-D transposed convolution layer used by the image-reconstruction path."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng or init.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((in_channels, out_channels, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv_transpose2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class UpsampleNearest2d(Module):
+    def __init__(self, scale: int) -> None:
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest2d(x, self.scale)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class OptimizedFourierUnit(Module):
+    """The Optimized Fourier Unit of DOINN (paper Figure 3(b), eq. (11)).
+
+    A single FFT on the input image, truncation to the lowest ``modes``
+    frequencies, a channel-lifting complex linear map (``LiftChannel`` in
+    Table 5), a per-mode complex mixing (``MatMul`` in Table 5), and an
+    inverse FFT followed by a LeakyReLU activation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        modes: int,
+        negative_slope: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes = modes
+        self.negative_slope = negative_slope
+        rng = rng or init.default_rng()
+        self.lift_weight = Parameter(
+            init.spectral_scale((in_channels, out_channels, 2), in_channels, rng)
+        )
+        self.mix_weight = Parameter(
+            init.spectral_scale(
+                (out_channels, out_channels, 2 * modes, 2 * modes, 2), out_channels, rng
+            )
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = fourier_unit(x, self.lift_weight, self.mix_weight, self.modes)
+        return out.leaky_relu(self.negative_slope)
+
+
+class FNOFourierLayer(Module):
+    """A baseline FNO Fourier layer (paper Figure 3(a), eq. (7)-(10)).
+
+    ``v_{t+1} = sigma(L v_t + IFFT(R . FFT(v_t)))`` where ``L`` is a 1x1
+    convolution bypass and ``R`` mixes the retained frequency modes.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        modes: int,
+        negative_slope: float = 0.1,
+        use_bypass: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.modes = modes
+        self.negative_slope = negative_slope
+        self.use_bypass = use_bypass
+        rng = rng or init.default_rng()
+        self.mix_weight = Parameter(
+            init.spectral_scale((channels, channels, 2 * modes, 2 * modes, 2), channels, rng)
+        )
+        if use_bypass:
+            self.bypass = Conv2d(channels, channels, kernel_size=1, bias=True, rng=rng)
+        else:
+            self.bypass = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        spectral = spectral_conv2d(x, self.mix_weight, self.modes)
+        if self.bypass is not None:
+            spectral = spectral + self.bypass(x)
+        return spectral.leaky_relu(self.negative_slope)

@@ -1,0 +1,53 @@
+"""Loss functions.
+
+The paper trains every model with a plain mean-squared-error loss on the
+predicted resist image (Table 8).  Binary cross-entropy and Dice losses are
+also provided because the DAMO-DLS baseline literature uses them and they are
+useful for ablation experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["MSELoss", "BCELoss", "DiceLoss", "mse_loss", "bce_loss", "dice_loss"]
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between prediction and target."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def bce_loss(prediction: Tensor, target: Tensor, eps: float = 1e-7) -> Tensor:
+    """Binary cross entropy; ``prediction`` must already be in (0, 1)."""
+    p = prediction.clip(eps, 1.0 - eps)
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return -(target * p.log() + (1.0 - target) * (1.0 - p).log()).mean()
+
+
+def dice_loss(prediction: Tensor, target: Tensor, eps: float = 1e-6) -> Tensor:
+    """Soft Dice loss (1 - Dice coefficient), computed over the whole batch."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    intersection = (prediction * target).sum()
+    union = prediction.sum() + target.sum()
+    dice = (intersection * 2.0 + eps) / (union + eps)
+    return 1.0 - dice
+
+
+class MSELoss(Module):
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return mse_loss(prediction, target)
+
+
+class BCELoss(Module):
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return bce_loss(prediction, target)
+
+
+class DiceLoss(Module):
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return dice_loss(prediction, target)

@@ -1,0 +1,38 @@
+"""Saving and loading model weights as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_model"]
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path) -> Path:
+    """Save a state dictionary to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a state dictionary previously written by :func:`save_state`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_model(model: Module, path: str | Path) -> Path:
+    """Serialize a module's parameters and buffers."""
+    return save_state(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str | Path) -> Module:
+    """Load parameters and buffers into ``model`` in place and return it."""
+    model.load_state_dict(load_state(path))
+    return model

@@ -1,0 +1,181 @@
+"""Differentiable spectral (Fourier-domain) operations.
+
+These primitives implement the frequency-domain computation at the heart of
+the paper:
+
+* :func:`fourier_unit` — the **Optimized Fourier Unit** of DOINN
+  (paper eq. (11)):  FFT of the (pooled) mask, truncation to the ``k`` lowest
+  frequency modes, complex channel lifting, per-mode complex mixing, inverse
+  FFT back to the spatial domain.
+* :func:`spectral_conv2d` — the spectral convolution used inside a *baseline*
+  FNO Fourier layer (paper eq. (10)), where gradients must also flow through
+  the FFT of the layer input because Fourier units are stacked.
+
+Complex weights are stored as real tensors with a trailing dimension of size
+two ``(..., 2)`` holding the real and imaginary parts, so the rest of the
+framework (optimizers, serialization) never has to deal with complex dtypes.
+The backward passes are derived analytically (adjoint of the DFT plus the
+product rule for complex multiplications) and are validated against finite
+differences in ``tests/nn/test_spectral.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "truncation_indices",
+    "truncate_spectrum",
+    "scatter_spectrum",
+    "fourier_unit",
+    "spectral_conv2d",
+]
+
+
+def truncation_indices(height: int, width: int, modes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row/column indices of the ``modes`` lowest frequencies kept by truncation.
+
+    Following the FNO convention, the lowest ``modes`` non-negative and
+    ``modes`` negative frequencies are kept along each axis, giving a
+    ``(2 * modes) x (2 * modes)`` retained block.
+    """
+    if 2 * modes > height or 2 * modes > width:
+        raise ValueError(
+            f"modes={modes} too large for spectrum of size {(height, width)}; "
+            f"need 2*modes <= min(H, W)"
+        )
+    rows = np.concatenate([np.arange(0, modes), np.arange(height - modes, height)])
+    cols = np.concatenate([np.arange(0, modes), np.arange(width - modes, width)])
+    return rows, cols
+
+
+def truncate_spectrum(spectrum: np.ndarray, modes: int) -> np.ndarray:
+    """Keep only the lowest-frequency block of a full 2-D spectrum."""
+    rows, cols = truncation_indices(spectrum.shape[-2], spectrum.shape[-1], modes)
+    return spectrum[..., rows[:, None], cols[None, :]]
+
+
+def scatter_spectrum(block: np.ndarray, height: int, width: int, modes: int) -> np.ndarray:
+    """Adjoint of :func:`truncate_spectrum`: embed a block into a zero spectrum."""
+    rows, cols = truncation_indices(height, width, modes)
+    full_shape = block.shape[:-2] + (height, width)
+    full = np.zeros(full_shape, dtype=block.dtype)
+    full[..., rows[:, None], cols[None, :]] = block
+    return full
+
+
+def _as_complex(weight: np.ndarray) -> np.ndarray:
+    """View an ``(..., 2)`` real weight as a complex array."""
+    return weight[..., 0] + 1j * weight[..., 1]
+
+
+def _as_pair(value: np.ndarray) -> np.ndarray:
+    """Stack a complex array into an ``(..., 2)`` real array."""
+    return np.stack([value.real, value.imag], axis=-1)
+
+
+def fourier_unit(
+    x: Tensor,
+    lift_weight: Tensor,
+    mix_weight: Tensor,
+    modes: int,
+) -> Tensor:
+    """Optimized Fourier Unit of DOINN (paper eq. (11)), without activation.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)`` (for DOINN ``C_in`` is 1: the
+        average-pooled mask).
+    lift_weight:
+        Channel-lift weights of shape ``(C_in, C_out, 2)`` (complex, stored as
+        a real/imaginary pair).  This is ``W_P`` in the paper.
+    mix_weight:
+        Per-mode mixing weights of shape ``(C_out, C_out, 2*modes, 2*modes, 2)``.
+        This is ``W_R`` in the paper.
+    modes:
+        Number of low-frequency modes kept per axis (the paper keeps 50).
+
+    Returns
+    -------
+    Real tensor of shape ``(N, C_out, H, W)``.
+    """
+    n, c_in, h, w = x.shape
+    c_in_w, c_out, _ = lift_weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"fourier_unit: input has {c_in} channels, lift weight expects {c_in_w}")
+    mh, mw = mix_weight.shape[2], mix_weight.shape[3]
+    if mh != 2 * modes or mw != 2 * modes:
+        raise ValueError(
+            f"fourier_unit: mix weight spatial shape {(mh, mw)} does not match 2*modes={2 * modes}"
+        )
+
+    wp = _as_complex(lift_weight.data)                       # (C_in, C_out)
+    wr = _as_complex(mix_weight.data)                        # (C_out, C_out, mh, mw)
+
+    spectrum = np.fft.fft2(x.data, axes=(-2, -1))
+    x_hat = truncate_spectrum(spectrum, modes)               # (N, C_in, mh, mw)
+    lifted = np.einsum("bixy,io->boxy", x_hat, wp)           # (N, C_out, mh, mw)
+    mixed = np.einsum("bixy,ioxy->boxy", lifted, wr)         # (N, C_out, mh, mw)
+    full = scatter_spectrum(mixed, h, w, modes)
+    out = np.fft.ifft2(full, axes=(-2, -1)).real             # (N, C_out, H, W)
+
+    def backward(grad: np.ndarray) -> None:
+        # Adjoint of "take the real part of an inverse FFT" is a forward FFT
+        # scaled by 1/(H*W); see DESIGN.md (spectral adjoints).
+        grad_full = np.fft.fft2(grad, axes=(-2, -1)) / (h * w)
+        grad_mixed = truncate_spectrum(grad_full, modes)     # (N, C_out, mh, mw)
+        if mix_weight.requires_grad:
+            grad_wr = np.einsum("boxy,bixy->ioxy", grad_mixed, np.conj(lifted))
+            mix_weight.accumulate_grad(_as_pair(grad_wr))
+        grad_lifted = np.einsum("boxy,ioxy->bixy", grad_mixed, np.conj(wr))
+        if lift_weight.requires_grad:
+            grad_wp = np.einsum("boxy,bixy->io", grad_lifted, np.conj(x_hat))
+            lift_weight.accumulate_grad(_as_pair(grad_wp))
+        if x.requires_grad:
+            grad_hat = np.einsum("boxy,io->bixy", grad_lifted, np.conj(wp))
+            grad_spectrum = scatter_spectrum(grad_hat, h, w, modes)
+            grad_x = (h * w) * np.fft.ifft2(grad_spectrum, axes=(-2, -1)).real
+            x.accumulate_grad(grad_x)
+
+    return Tensor.from_op(out, (x, lift_weight, mix_weight), backward)
+
+
+def spectral_conv2d(x: Tensor, mix_weight: Tensor, modes: int) -> Tensor:
+    """Spectral convolution of a baseline FNO Fourier layer (paper eq. (10)).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``; gradients flow through its FFT so
+        Fourier layers can be stacked.
+    mix_weight:
+        Weights of shape ``(C_in, C_out, 2*modes, 2*modes, 2)``.
+    """
+    n, c_in, h, w = x.shape
+    c_in_w, c_out = mix_weight.shape[0], mix_weight.shape[1]
+    if c_in != c_in_w:
+        raise ValueError(f"spectral_conv2d: input has {c_in} channels, weight expects {c_in_w}")
+
+    wr = _as_complex(mix_weight.data)                        # (C_in, C_out, mh, mw)
+    spectrum = np.fft.fft2(x.data, axes=(-2, -1))
+    x_hat = truncate_spectrum(spectrum, modes)               # (N, C_in, mh, mw)
+    mixed = np.einsum("bixy,ioxy->boxy", x_hat, wr)          # (N, C_out, mh, mw)
+    full = scatter_spectrum(mixed, h, w, modes)
+    out = np.fft.ifft2(full, axes=(-2, -1)).real
+
+    def backward(grad: np.ndarray) -> None:
+        grad_full = np.fft.fft2(grad, axes=(-2, -1)) / (h * w)
+        grad_mixed = truncate_spectrum(grad_full, modes)
+        if mix_weight.requires_grad:
+            grad_wr = np.einsum("boxy,bixy->ioxy", grad_mixed, np.conj(x_hat))
+            mix_weight.accumulate_grad(_as_pair(grad_wr))
+        if x.requires_grad:
+            grad_hat = np.einsum("boxy,ioxy->bixy", grad_mixed, np.conj(wr))
+            grad_spectrum = scatter_spectrum(grad_hat, h, w, modes)
+            grad_x = (h * w) * np.fft.ifft2(grad_spectrum, axes=(-2, -1)).real
+            x.accumulate_grad(grad_x)
+
+    return Tensor.from_op(out, (x, mix_weight), backward)

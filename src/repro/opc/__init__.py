@@ -1,0 +1,22 @@
+"""Edge-based OPC engine, SRAF insertion and EPE metrics."""
+
+from .engine import OPCConfig, OPCEngine, OPCResult, rule_based_retarget
+from .epe import EPEStatistics, measure_fragment_epe, measure_layout_epe
+from .fragments import EdgeFragment, FragmentedShape, build_mask, fragment_layout
+from .sraf import insert_srafs, sraf_rects_pixels
+
+__all__ = [
+    "OPCConfig",
+    "OPCEngine",
+    "OPCResult",
+    "rule_based_retarget",
+    "EPEStatistics",
+    "measure_fragment_epe",
+    "measure_layout_epe",
+    "EdgeFragment",
+    "FragmentedShape",
+    "build_mask",
+    "fragment_layout",
+    "insert_srafs",
+    "sraf_rects_pixels",
+]

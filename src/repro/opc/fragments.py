@@ -1,0 +1,152 @@
+"""Edge fragmentation for edge-based OPC.
+
+Every target rectangle is decomposed into edge *fragments*: sub-segments of
+its four edges, each carrying a movable offset (in pixels, positive = outward
+from the shape).  The OPC engine measures the edge placement error at each
+fragment's control point and moves the fragment to compensate — the classical
+edge-based OPC formulation used by the flows that produced the paper's
+training data (MOSAIC, Calibre).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..layout.geometry import Layout, Rect
+
+__all__ = ["EdgeFragment", "FragmentedShape", "fragment_layout", "build_mask"]
+
+# Edge identifiers: which side of the rectangle the fragment belongs to.
+LEFT, RIGHT, BOTTOM, TOP = "left", "right", "bottom", "top"
+
+
+@dataclass
+class EdgeFragment:
+    """A movable fragment of one rectangle edge (pixel coordinates).
+
+    ``span`` is the (start, end) pixel range along the edge direction;
+    ``position`` is the fixed pixel coordinate of the drawn edge;
+    ``offset`` is the current OPC correction in pixels (positive = outward).
+    """
+
+    side: str
+    span: tuple[int, int]
+    position: int
+    offset: float = 0.0
+    last_step: float = 0.0
+
+    @property
+    def control_point(self) -> tuple[int, int]:
+        """(row, col) of the control point at the fragment midpoint on the drawn edge."""
+        mid = (self.span[0] + self.span[1]) // 2
+        if self.side in (LEFT, RIGHT):
+            return (mid, self.position)
+        return (self.position, mid)
+
+    @property
+    def outward_normal(self) -> tuple[int, int]:
+        """(drow, dcol) unit step pointing out of the shape."""
+        return {
+            LEFT: (0, -1),
+            RIGHT: (0, 1),
+            BOTTOM: (-1, 0),
+            TOP: (1, 0),
+        }[self.side]
+
+
+@dataclass
+class FragmentedShape:
+    """A target rectangle together with its movable edge fragments."""
+
+    rect_pixels: tuple[int, int, int, int]   # (row0, col0, row1, col1), exclusive end
+    fragments: list[EdgeFragment] = field(default_factory=list)
+
+
+def _fragment_spans(start: int, end: int, max_length: int) -> list[tuple[int, int]]:
+    """Split ``[start, end)`` into spans no longer than ``max_length``."""
+    length = end - start
+    if length <= 0:
+        return []
+    n = max(1, int(np.ceil(length / max_length)))
+    edges = np.linspace(start, end, n + 1).astype(int)
+    return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+
+def fragment_layout(
+    layout: Layout, pixel_size: float, max_fragment_length: int = 32
+) -> list[FragmentedShape]:
+    """Fragment every rectangle of a layout into movable edges (pixel space)."""
+    shapes: list[FragmentedShape] = []
+    for rect in layout.shapes:
+        col0 = int(round(rect.x0 / pixel_size))
+        col1 = int(round(rect.x1 / pixel_size))
+        row0 = int(round(rect.y0 / pixel_size))
+        row1 = int(round(rect.y1 / pixel_size))
+        if col1 <= col0 or row1 <= row0:
+            continue
+        fragments: list[EdgeFragment] = []
+        for span in _fragment_spans(row0, row1, max_fragment_length):
+            fragments.append(EdgeFragment(LEFT, span, col0))
+            fragments.append(EdgeFragment(RIGHT, span, col1 - 1))
+        for span in _fragment_spans(col0, col1, max_fragment_length):
+            fragments.append(EdgeFragment(BOTTOM, span, row0))
+            fragments.append(EdgeFragment(TOP, span, row1 - 1))
+        shapes.append(FragmentedShape((row0, col0, row1, col1), fragments))
+    return shapes
+
+
+def build_mask(
+    shapes: list[FragmentedShape],
+    image_size: int,
+    extra_rects: list[tuple[int, int, int, int]] | None = None,
+) -> np.ndarray:
+    """Rasterize fragmented shapes (with their current offsets) into a mask image.
+
+    The drawn rectangle is filled first; each fragment then grows (positive
+    offset) or trims (negative offset) a strip along its edge span.
+    ``extra_rects`` (row0, col0, row1, col1) are painted afterwards — used for
+    SRAF bars, which are not OPC-corrected.
+    """
+    mask = np.zeros((image_size, image_size), dtype=np.float64)
+    for shape in shapes:
+        row0, col0, row1, col1 = shape.rect_pixels
+        mask[max(row0, 0) : min(row1, image_size), max(col0, 0) : min(col1, image_size)] = 1.0
+
+    # Apply fragment growth, then trims (trims win where they overlap growth of
+    # the same shape, matching how OPC biases are resolved on manufacturing grids).
+    for grow in (True, False):
+        for shape in shapes:
+            row0, col0, row1, col1 = shape.rect_pixels
+            for fragment in shape.fragments:
+                offset = int(round(fragment.offset))
+                if offset == 0 or (offset > 0) != grow:
+                    continue
+                lo, hi = fragment.span
+                lo, hi = max(lo, 0), min(hi, image_size)
+                if hi <= lo:
+                    continue
+                value = 1.0 if grow else 0.0
+                magnitude = abs(offset)
+                if fragment.side == LEFT:
+                    a = col0 - magnitude if grow else col0
+                    b = col0 if grow else col0 + magnitude
+                    mask[lo:hi, max(a, 0) : min(b, image_size)] = value
+                elif fragment.side == RIGHT:
+                    a = col1 if grow else col1 - magnitude
+                    b = col1 + magnitude if grow else col1
+                    mask[lo:hi, max(a, 0) : min(b, image_size)] = value
+                elif fragment.side == BOTTOM:
+                    a = row0 - magnitude if grow else row0
+                    b = row0 if grow else row0 + magnitude
+                    mask[max(a, 0) : min(b, image_size), lo:hi] = value
+                elif fragment.side == TOP:
+                    a = row1 if grow else row1 - magnitude
+                    b = row1 + magnitude if grow else row1
+                    mask[max(a, 0) : min(b, image_size), lo:hi] = value
+
+    if extra_rects:
+        for row0, col0, row1, col1 in extra_rects:
+            mask[max(row0, 0) : min(row1, image_size), max(col0, 0) : min(col1, image_size)] = 1.0
+    return mask

@@ -1,0 +1,7 @@
+"""Training loop and configuration (paper Table 8)."""
+
+from .callbacks import ConsoleLogger, TrainingHistory
+from .config import TrainingConfig
+from .trainer import Trainer
+
+__all__ = ["TrainingConfig", "Trainer", "TrainingHistory", "ConsoleLogger"]

@@ -1,0 +1,39 @@
+"""Training callbacks: history recording and console progress."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrainingHistory", "ConsoleLogger"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+    validation_miou: list[float] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_losses)
+
+    def improved(self) -> bool:
+        """Whether the loss at the end is lower than after the first epoch."""
+        return len(self.epoch_losses) >= 2 and self.epoch_losses[-1] < self.epoch_losses[0]
+
+
+class ConsoleLogger:
+    """Minimal progress printer used by the examples."""
+
+    def __init__(self, prefix: str = "train") -> None:
+        self.prefix = prefix
+
+    def __call__(self, epoch: int, batch: int, loss: float) -> None:
+        print(f"[{self.prefix}] epoch {epoch} batch {batch}: loss {loss:.5f}")

@@ -1,0 +1,79 @@
+"""Training configuration (paper Table 8).
+
+The paper trains every model with the same recipe:
+
+==========================  =======================
+Max Epoch                   10
+Initial Learning Rate       0.002
+Learning Rate Decay Policy  Step, every 2 epochs
+Learning Rate Decay Factor  0.5
+Batch Size                  16
+Optimizer                   Adam
+Weight Decay                0.0001
+Loss                        MSE
+==========================  =======================
+
+:func:`TrainingConfig.paper` returns exactly those values;
+:func:`TrainingConfig.fast` is a scaled-down recipe used by tests and the
+reduced-size benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+__all__ = ["TrainingConfig"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run."""
+
+    max_epochs: int = 10
+    learning_rate: float = 0.002
+    lr_decay_every: int = 2
+    lr_decay_factor: float = 0.5
+    batch_size: int = 16
+    weight_decay: float = 1e-4
+    loss: str = "mse"                  # "mse", "bce" or "dice"
+    shuffle: bool = True
+    augment: bool = False
+    log_every: int = 0                 # batches between progress callbacks (0 = off)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("max_epochs and batch_size must be positive")
+        if self.loss not in ("mse", "bce", "dice"):
+            raise ValueError(f"unknown loss '{self.loss}'")
+
+    @staticmethod
+    def paper() -> "TrainingConfig":
+        """The exact Table 8 configuration."""
+        return TrainingConfig()
+
+    @staticmethod
+    def fast(max_epochs: int = 4, batch_size: int = 4) -> "TrainingConfig":
+        """A reduced recipe for CPU-scale experiments and tests."""
+        return TrainingConfig(
+            max_epochs=max_epochs,
+            batch_size=batch_size,
+            learning_rate=0.004,
+            lr_decay_every=2,
+        )
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        """Rows for reproducing Table 8 in the experiment harness."""
+        return [
+            ("Max Epoch", self.max_epochs),
+            ("Initial Learning Rate", self.learning_rate),
+            ("Learning Rate Decay Policy", f"Step, Every {self.lr_decay_every} epochs"),
+            ("Learning Rate Decay Factor", self.lr_decay_factor),
+            ("Batch Size", self.batch_size),
+            ("Optimizer", "Adam"),
+            ("Weight Decay", self.weight_decay),
+            ("Loss", self.loss.upper()),
+        ]
+
+    def to_dict(self) -> dict:
+        return asdict(self)

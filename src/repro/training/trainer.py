@@ -1,0 +1,106 @@
+"""Supervised training loop implementing the paper's Table 8 recipe."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..data.dataloader import DataLoader
+from ..data.dataset import MaskResistDataset
+from ..data.transforms import RandomFlip
+from ..metrics.segmentation import mean_iou
+from ..nn import Adam, StepLR, Tensor
+from .callbacks import TrainingHistory
+from .config import TrainingConfig
+
+__all__ = ["Trainer"]
+
+_LOSSES: dict[str, Callable[[Tensor, Tensor], Tensor]] = {
+    "mse": nn.mse_loss,
+    "bce": lambda p, t: nn.bce_loss(p * 0.5 + 0.5, t),   # map tanh output to (0, 1)
+    "dice": lambda p, t: nn.dice_loss(p * 0.5 + 0.5, t),
+}
+
+
+class Trainer:
+    """Train a mask-to-resist model on a :class:`MaskResistDataset`."""
+
+    def __init__(self, model: nn.Module, config: TrainingConfig | None = None) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.scheduler = StepLR(
+            self.optimizer,
+            step_size=self.config.lr_decay_every,
+            gamma=self.config.lr_decay_factor,
+        )
+        self.loss_fn = _LOSSES[self.config.loss]
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train_data: MaskResistDataset,
+        validation_data: MaskResistDataset | None = None,
+        progress: Callable[[int, int, float], None] | None = None,
+    ) -> TrainingHistory:
+        """Run the full training loop and return the per-epoch history."""
+        config = self.config
+        loader = DataLoader(
+            train_data,
+            batch_size=config.batch_size,
+            shuffle=config.shuffle,
+            transform=RandomFlip() if config.augment else None,
+            rng=np.random.default_rng(config.seed),
+        )
+        history = TrainingHistory()
+        start = time.perf_counter()
+
+        self.model.train()
+        for epoch in range(config.max_epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for batch_index, (masks, resists) in enumerate(loader):
+                loss = self.train_step(masks, resists)
+                epoch_loss += loss
+                batches += 1
+                if progress is not None and config.log_every and batch_index % config.log_every == 0:
+                    progress(epoch, batch_index, loss)
+            history.epoch_losses.append(epoch_loss / max(batches, 1))
+            history.learning_rates.append(self.optimizer.lr)
+            if validation_data is not None:
+                history.validation_miou.append(self.validate(validation_data))
+            self.scheduler.step()
+
+        history.wall_time = time.perf_counter() - start
+        return history
+
+    # ------------------------------------------------------------------ #
+    def train_step(self, masks: np.ndarray, resists: np.ndarray) -> float:
+        """One optimization step on a batch; returns the scalar loss."""
+        self.optimizer.zero_grad()
+        prediction = self.model(Tensor(masks))
+        loss = self.loss_fn(prediction, Tensor(resists))
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.item())
+
+    def validate(self, data: MaskResistDataset, batch_size: int = 8, threshold: float = 0.5) -> float:
+        """Mean IOU of the model over a dataset (predictions thresholded at 0.5)."""
+        self.model.eval()
+        scores = []
+        with nn.no_grad():
+            for start in range(0, len(data), batch_size):
+                masks = data.masks[start : start + batch_size]
+                resists = data.resists[start : start + batch_size]
+                prediction = self.model(Tensor(masks)).numpy()
+                for p, g in zip(prediction, resists):
+                    scores.append(mean_iou(p[0], g[0], threshold=threshold))
+        self.model.train()
+        return float(np.mean(scores)) if scores else float("nan")

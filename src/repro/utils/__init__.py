@@ -1,0 +1,14 @@
+"""Shared utilities: seeding, image helpers and plain-text table formatting."""
+
+from .seed import seed_everything
+from .image import normalize_image, binarize, downsample, to_ascii
+from .tables import format_table
+
+__all__ = [
+    "seed_everything",
+    "normalize_image",
+    "binarize",
+    "downsample",
+    "to_ascii",
+    "format_table",
+]

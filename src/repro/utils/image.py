@@ -1,0 +1,48 @@
+"""Image helpers shared by the layout, lithography and evaluation code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_image", "binarize", "downsample", "to_ascii"]
+
+
+def normalize_image(image: np.ndarray) -> np.ndarray:
+    """Scale an image to the [0, 1] range (constant images map to zeros)."""
+    image = np.asarray(image, dtype=np.float64)
+    low, high = image.min(), image.max()
+    if high - low < 1e-12:
+        return np.zeros_like(image)
+    return (image - low) / (high - low)
+
+
+def binarize(image: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Threshold an image into a {0, 1} float array."""
+    return (np.asarray(image) >= threshold).astype(np.float64)
+
+
+def downsample(image: np.ndarray, factor: int) -> np.ndarray:
+    """Average-pool downsampling of a 2-D image by an integer factor."""
+    if factor == 1:
+        return np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    if h % factor or w % factor:
+        raise ValueError(f"image of size {(h, w)} not divisible by factor {factor}")
+    return (
+        np.asarray(image, dtype=np.float64)
+        .reshape(h // factor, factor, w // factor, factor)
+        .mean(axis=(1, 3))
+    )
+
+
+def to_ascii(image: np.ndarray, width: int = 64, charset: str = " .:-=+*#%@") -> str:
+    """Render an image as ASCII art, used for console visualization of contours."""
+    image = normalize_image(image)
+    h, w = image.shape
+    step = max(1, w // width)
+    rows = []
+    for i in range(0, h, step * 2):  # *2 compensates for character aspect ratio
+        row = image[i, ::step]
+        chars = [charset[int(v * (len(charset) - 1))] for v in row]
+        rows.append("".join(chars))
+    return "\n".join(rows)

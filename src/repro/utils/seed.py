@@ -1,0 +1,21 @@
+"""Deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["seed_everything"]
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Seed Python's and NumPy's global RNGs and return a fresh Generator.
+
+    All stochastic components in this repository (layout generators, weight
+    initialization, data shuffling) accept explicit generators; this helper is
+    a convenience for scripts and experiments.
+    """
+    random.seed(seed)
+    np.random.seed(seed)
+    return np.random.default_rng(seed)

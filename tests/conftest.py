@@ -1,0 +1,32 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded random generator for each test."""
+    return np.random.default_rng(1234)
+
+
+def numeric_gradient(func, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of ``array``.
+
+    ``func`` must take no arguments and read ``array`` by reference; the array
+    is perturbed in place and restored.
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad

@@ -1,0 +1,147 @@
+"""Tests of the DOINN model, its configuration and its three paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DOINN, DOINNConfig
+from repro.core.paths import GlobalPerception, ImageReconstruction, LocalPerception
+from repro.nn import Adam, Tensor, mse_loss
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2)
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return DOINN(small_config)
+
+
+def test_forward_shape(model, rng):
+    x = Tensor(rng.random((2, 1, 32, 32)))
+    assert model(x).shape == (2, 1, 32, 32)
+
+
+def test_output_range_is_tanh_bounded(model, rng):
+    out = model(Tensor(rng.random((1, 1, 32, 32)))).numpy()
+    assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+def test_forward_accepts_other_sizes(model, rng):
+    out = model(Tensor(rng.random((1, 1, 64, 64))))
+    assert out.shape == (1, 1, 64, 64)
+
+
+def test_predict_batches(model, rng):
+    masks = rng.random((5, 1, 32, 32))
+    out = model.predict(masks, batch_size=2)
+    assert out.shape == (5, 1, 32, 32)
+
+
+def test_gradients_reach_all_parameters(small_config, rng):
+    model = DOINN(small_config)
+    x = Tensor(rng.random((1, 1, 32, 32)))
+    target = Tensor(rng.random((1, 1, 32, 32)))
+    mse_loss(model(x), target).backward()
+    missing = [name for name, p in model.named_parameters() if p.grad is None]
+    assert missing == []
+
+
+def test_doinn_learns_identity_like_mapping(rng):
+    """A tiny DOINN fits a trivial mask->mask task in a few steps."""
+    model = DOINN(DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2))
+    optimizer = Adam(model.parameters(), lr=0.01)
+    masks = (rng.random((4, 1, 32, 32)) > 0.8).astype(float)
+    x, t = Tensor(masks), Tensor(masks)
+    losses = []
+    for _ in range(15):
+        optimizer.zero_grad()
+        loss = mse_loss(model(x), t)
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    assert losses[-1] < losses[0] * 0.7
+
+
+def test_paper_config_parameter_count():
+    """The published configuration must land near the reported 1.3 M parameters."""
+    model = DOINN(DOINNConfig.paper())
+    params = model.num_parameters()
+    assert 1_200_000 < params < 1_500_000
+
+
+def test_scaled_config_modes_fit_pooled_spectrum():
+    config = DOINNConfig.scaled(64)
+    assert 2 * config.modes <= 64 // 8
+    config = DOINNConfig.scaled(2048)
+    assert config.modes == 25
+
+
+def test_ablation_rows_toggle_components(small_config):
+    row1 = DOINN(small_config.ablation(1))
+    row2 = DOINN(small_config.ablation(2))
+    row3 = DOINN(small_config.ablation(3))
+    row4 = DOINN(small_config.ablation(4))
+    assert row1.local_perception is None
+    assert row3.local_perception is not None
+    assert not row3.reconstruction.use_skips
+    assert row4.reconstruction.use_skips
+    # Every added component increases the parameter count.
+    sizes = [m.num_parameters() for m in (row1, row2, row3, row4)]
+    assert sizes == sorted(sizes)
+    with pytest.raises(ValueError):
+        small_config.ablation(5)
+
+
+@pytest.mark.parametrize("row", [1, 2, 3, 4])
+def test_ablation_variants_forward(row, small_config, rng):
+    model = DOINN(small_config.ablation(row))
+    out = model(Tensor(rng.random((1, 1, 32, 32))))
+    assert out.shape == (1, 1, 32, 32)
+
+
+def test_summary_matches_appendix_structure():
+    model = DOINN(DOINNConfig.paper())
+    rows = model.summary(2048)
+    paths = {row["path"] for row in rows}
+    assert paths == {"GP", "LP", "IR"}
+    gp_rows = [r for r in rows if r["path"] == "GP"]
+    assert gp_rows[0]["output"] == (256, 256, 1)          # AvePooling
+    assert gp_rows[-1]["output"] == (256, 256, 16)        # iFFT
+    ir_rows = [r for r in rows if r["path"] == "IR"]
+    assert ir_rows[-1]["output"] == (2048, 2048, 1)
+
+
+# --------------------------------------------------------------------- #
+# Individual paths
+# --------------------------------------------------------------------- #
+def test_global_perception_downsamples_by_pool_factor(rng):
+    gp = GlobalPerception(channels=4, modes=2, pool_factor=8)
+    out = gp(Tensor(rng.random((1, 1, 64, 64))))
+    assert out.shape == (1, 4, 8, 8)
+
+
+def test_local_perception_pyramid_shapes(rng):
+    lp = LocalPerception(base_channels=2)
+    f1, f2, f3 = lp(Tensor(rng.random((1, 1, 64, 64))))
+    assert f1.shape == (1, 2, 32, 32)
+    assert f2.shape == (1, 4, 16, 16)
+    assert f3.shape == (1, 8, 8, 8)
+
+
+def test_image_reconstruction_requires_lp_features_when_configured(rng):
+    ir = ImageReconstruction(gp_channels=4, lp_channels=(2, 4, 8), base_channels=2)
+    with pytest.raises(ValueError):
+        ir(Tensor(rng.random((1, 4, 8, 8))), None)
+
+
+def test_image_reconstruction_upsamples_to_input_resolution(rng):
+    lp = LocalPerception(base_channels=2)
+    ir = ImageReconstruction(gp_channels=4, lp_channels=lp.channels, base_channels=2)
+    x = Tensor(rng.random((1, 1, 64, 64)))
+    gp_features = Tensor(rng.random((1, 4, 8, 8)))
+    out = ir(gp_features, lp(x))
+    assert out.shape == (1, 1, 64, 64)

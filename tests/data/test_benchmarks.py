@@ -1,0 +1,99 @@
+"""Tests for the synthetic benchmark dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BenchmarkConfig, build_benchmark, build_large_tile_benchmark
+from repro.litho import LithoSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithoSimulator(pixel_size=16.0, num_kernels=8, kernel_support=25)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return BenchmarkConfig(
+        benchmark="ispd2019", num_train=4, num_test=2, image_size=64, pixel_size=16.0, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_data(small_config, simulator):
+    return build_benchmark(small_config, simulator)
+
+
+def test_benchmark_split_sizes(bench_data, small_config):
+    assert len(bench_data.train) == small_config.num_train
+    assert len(bench_data.test) == small_config.num_test
+    assert bench_data.train.image_size == small_config.image_size
+    assert bench_data.name == "ispd2019"
+
+
+def test_benchmark_masks_binary_and_nonempty(bench_data):
+    masks = bench_data.train.masks
+    assert set(np.unique(masks)).issubset({0.0, 1.0})
+    assert masks.sum(axis=(1, 2, 3)).min() > 0
+
+
+def test_benchmark_resists_are_printable_labels(bench_data):
+    resists = bench_data.train.resists
+    assert set(np.unique(resists)).issubset({0.0, 1.0})
+    # At least some tiles print something (rule-based OPC upsizes the vias).
+    assert resists.sum() > 0
+
+
+def test_benchmark_is_reproducible(small_config, simulator):
+    again = build_benchmark(small_config, simulator)
+    first = build_benchmark(small_config, simulator)
+    np.testing.assert_allclose(first.train.masks, again.train.masks)
+    np.testing.assert_allclose(first.test.resists, again.test.resists)
+
+
+def test_benchmark_rejects_pixel_size_mismatch(small_config):
+    wrong = LithoSimulator(pixel_size=8.0, num_kernels=8, kernel_support=25)
+    with pytest.raises(ValueError):
+        build_benchmark(small_config, wrong)
+
+
+def test_benchmark_opc_mode_none(simulator):
+    config = BenchmarkConfig(
+        benchmark="ispd2019", num_train=2, num_test=1, image_size=64, pixel_size=16.0,
+        opc_mode="none", use_srafs=False,
+    )
+    data = build_benchmark(config, simulator)
+    # Without correction the raw via masks barely print.
+    assert data.train.masks.sum() > 0
+
+
+def test_benchmark_unknown_opc_mode(simulator):
+    config = BenchmarkConfig(opc_mode="bogus", image_size=64, pixel_size=16.0, num_train=1, num_test=1)
+    with pytest.raises(ValueError):
+        build_benchmark(config, simulator)
+
+
+def test_metal_benchmark_differs_from_via(simulator):
+    via = build_benchmark(
+        BenchmarkConfig(benchmark="ispd2019", num_train=2, num_test=1, image_size=64, pixel_size=16.0),
+        simulator,
+    )
+    metal = build_benchmark(
+        BenchmarkConfig(benchmark="iccad2013", num_train=2, num_test=1, image_size=64, pixel_size=16.0),
+        simulator,
+    )
+    # Metal tiles carry long wires: much higher pattern density than via tiles.
+    assert metal.train.masks.mean() > via.train.masks.mean()
+
+
+def test_large_tile_benchmark_scale(simulator):
+    config = BenchmarkConfig(
+        benchmark="ispd2019", num_train=1, num_test=1, image_size=64, pixel_size=16.0, seed=5
+    )
+    large = build_large_tile_benchmark(config, simulator, num_tiles=2, scale=2)
+    assert len(large) == 2
+    assert large.image_size == 128
+    assert large.masks.sum() > 0
+    assert large.tile_area_um2 == pytest.approx((128 * 16.0 / 1000.0) ** 2)

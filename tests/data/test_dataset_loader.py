@@ -1,0 +1,112 @@
+"""Tests for datasets, loaders and transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Compose, DataLoader, MaskResistDataset, RandomFlip, RandomRotate90
+
+
+def make_dataset(n=10, size=16, pixel_size=8.0):
+    rng = np.random.default_rng(0)
+    masks = (rng.random((n, size, size)) > 0.8).astype(float)
+    resists = (rng.random((n, size, size)) > 0.8).astype(float)
+    return MaskResistDataset(masks, resists, name="toy", pixel_size=pixel_size)
+
+
+def test_dataset_adds_channel_axis():
+    ds = make_dataset()
+    assert ds.masks.shape == (10, 1, 16, 16)
+    assert ds.resists.shape == (10, 1, 16, 16)
+    assert len(ds) == 10
+
+
+def test_dataset_rejects_mismatched_shapes():
+    with pytest.raises(ValueError):
+        MaskResistDataset(np.zeros((3, 8, 8)), np.zeros((4, 8, 8)))
+
+
+def test_dataset_indexing_returns_pairs():
+    ds = make_dataset()
+    mask, resist = ds[3]
+    assert mask.shape == (1, 16, 16)
+    np.testing.assert_allclose(mask, ds.masks[3])
+    np.testing.assert_allclose(resist, ds.resists[3])
+
+
+def test_tile_area_computation():
+    ds = make_dataset(size=128, pixel_size=8.0)   # 1024 nm tile
+    assert ds.tile_area_um2 == pytest.approx(1.024**2)
+
+
+def test_split_partitions_dataset():
+    ds = make_dataset(n=20)
+    train, test = ds.split(0.75, rng=np.random.default_rng(1))
+    assert len(train) == 15 and len(test) == 5
+    with pytest.raises(ValueError):
+        ds.split(1.5)
+
+
+def test_dataset_save_load_roundtrip(tmp_path):
+    ds = make_dataset()
+    path = ds.save(tmp_path / "toy.npz")
+    loaded = MaskResistDataset.load(path)
+    np.testing.assert_allclose(loaded.masks, ds.masks)
+    np.testing.assert_allclose(loaded.resists, ds.resists)
+    assert loaded.name == "toy"
+    assert loaded.pixel_size == 8.0
+
+
+def test_dataloader_batches_cover_dataset():
+    ds = make_dataset(n=10)
+    loader = DataLoader(ds, batch_size=4, shuffle=False)
+    batches = list(loader)
+    assert len(loader) == 3
+    assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+    stacked = np.concatenate([b[0] for b in batches])
+    np.testing.assert_allclose(stacked, ds.masks)
+
+
+def test_dataloader_drop_last():
+    loader = DataLoader(make_dataset(n=10), batch_size=4, shuffle=False, drop_last=True)
+    assert len(loader) == 2
+    assert all(batch[0].shape[0] == 4 for batch in loader)
+
+
+def test_dataloader_shuffles_between_epochs():
+    ds = make_dataset(n=8)
+    loader = DataLoader(ds, batch_size=8, shuffle=True, rng=np.random.default_rng(3))
+    first = next(iter(loader))[0]
+    second = next(iter(loader))[0]
+    assert not np.allclose(first, second)
+
+
+def test_dataloader_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        DataLoader(make_dataset(), batch_size=0)
+
+
+def test_random_flip_keeps_pairs_aligned():
+    ds = make_dataset(n=4)
+    transform = RandomFlip(probability=1.0)
+    masks, resists = transform(ds.masks, ds.resists, np.random.default_rng(0))
+    # Flipping both H and V with probability 1 is a deterministic transform.
+    np.testing.assert_allclose(masks, ds.masks[:, :, ::-1, ::-1])
+    np.testing.assert_allclose(resists, ds.resists[:, :, ::-1, ::-1])
+
+
+def test_random_rotate_preserves_content():
+    ds = make_dataset(n=4)
+    masks, resists = RandomRotate90()(ds.masks, ds.resists, np.random.default_rng(0))
+    assert masks.shape == ds.masks.shape
+    np.testing.assert_allclose(masks.sum(), ds.masks.sum())
+    np.testing.assert_allclose(resists.sum(), ds.resists.sum())
+
+
+def test_compose_applies_all():
+    ds = make_dataset(n=2)
+    transform = Compose(RandomFlip(probability=1.0), RandomFlip(probability=1.0))
+    masks, _ = transform(ds.masks, ds.resists, np.random.default_rng(0))
+    # Two full flips cancel out.
+    np.testing.assert_allclose(masks, ds.masks)

@@ -1,0 +1,68 @@
+"""Tests for the evaluator and throughput measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DOINN, DOINNConfig
+from repro.data import MaskResistDataset
+from repro.evaluation import (
+    evaluate_model,
+    evaluate_predictions,
+    measure_model_throughput,
+    measure_simulator_throughput,
+)
+from repro.litho import LithoSimulator
+
+
+def test_evaluate_predictions_perfect():
+    targets = np.zeros((3, 1, 16, 16))
+    targets[:, :, 4:12, 4:12] = 1.0
+    result = evaluate_predictions(targets, targets)
+    assert result.mpa == pytest.approx(1.0)
+    assert result.miou == pytest.approx(1.0)
+    assert result.contour_mean_px == 0.0
+    assert result.num_samples == 3
+
+
+def test_evaluate_predictions_shape_check():
+    with pytest.raises(ValueError):
+        evaluate_predictions(np.zeros((2, 1, 8, 8)), np.zeros((3, 1, 8, 8)))
+
+
+def test_evaluate_predictions_penalizes_mismatch():
+    targets = np.zeros((2, 1, 16, 16))
+    targets[:, :, 4:12, 4:12] = 1.0
+    wrong = np.zeros_like(targets)
+    result = evaluate_predictions(wrong, targets)
+    assert result.miou < 0.6
+    assert result.as_row()[1] < 60.0
+
+
+def test_evaluate_model_runs_end_to_end(rng):
+    model = DOINN(DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2))
+    masks = (rng.random((4, 32, 32)) > 0.8).astype(float)
+    data = MaskResistDataset(masks, masks, pixel_size=16.0)
+    result = evaluate_model(model, data, batch_size=2)
+    assert 0.0 <= result.miou <= 1.0
+    assert result.num_samples == 4
+
+
+def test_model_throughput_measurement(rng):
+    model = DOINN(DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2))
+    mask = (rng.random((32, 32)) > 0.8).astype(float)
+    result = measure_model_throughput(model, mask, pixel_size=16.0, repeats=1, warmup=0)
+    assert result.um2_per_second > 0
+    assert result.tile_area_um2 == pytest.approx((32 * 16 / 1000.0) ** 2)
+
+
+def test_simulator_throughput_and_speedup(rng):
+    simulator = LithoSimulator(pixel_size=16.0, num_kernels=6, kernel_support=21)
+    mask = np.zeros((32, 32))
+    mask[8:24, 8:24] = 1.0
+    ref = measure_simulator_throughput(simulator, mask, repeats=1, warmup=0)
+    assert ref.um2_per_second > 0
+    faster = measure_simulator_throughput(simulator, mask, repeats=1, warmup=0)
+    ratio = faster.speedup_over(ref)
+    assert ratio > 0

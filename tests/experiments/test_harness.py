@@ -1,0 +1,124 @@
+"""Tests for the experiment harness and the cheap experiment modules.
+
+The expensive experiments (Table 2, Table 3, Table 4, Figure 8) are exercised
+end-to-end by the benchmark suite in ``benchmarks/``; here we test the shared
+infrastructure and the experiments that do not require training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentProfile,
+    Harness,
+    format_fourier_cost,
+    format_table5_7,
+    format_table8,
+    get_profile,
+    run_fourier_cost,
+    run_table5_7,
+    run_table8,
+)
+from repro.experiments.harness import _digest
+
+
+def tiny_profile(tmp_path=None) -> ExperimentProfile:
+    return ExperimentProfile(
+        name="tiny",
+        low_res_size=32,
+        high_res_size=64,
+        low_res_pixel=32.0,
+        high_res_pixel=16.0,
+        num_train_low=3,
+        num_test_low=2,
+        num_train_high=2,
+        num_test_high=1,
+        epochs_low=1,
+        epochs_high=1,
+        batch_size=2,
+        large_tile_scale=2,
+        large_tile_count=1,
+        opc_iterations=3,
+    )
+
+
+def test_get_profile_default_and_env(monkeypatch):
+    assert get_profile().name == "quick"
+    assert get_profile("full").name == "full"
+    monkeypatch.setenv("REPRO_PROFILE", "full")
+    assert get_profile().name == "full"
+    with pytest.raises(KeyError):
+        get_profile("huge")
+
+
+def test_digest_is_stable_and_sensitive():
+    assert _digest({"a": 1}) == _digest({"a": 1})
+    assert _digest({"a": 1}) != _digest({"a": 2})
+
+
+def test_harness_caches_simulators_and_datasets(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    harness = Harness(tiny_profile())
+    assert harness.simulator(32.0) is harness.simulator(32.0)
+    first = harness.benchmark("ispd2019", "L")
+    second = harness.benchmark("ispd2019", "L")
+    assert first is second
+    assert len(first.train) == 3
+    # A second harness instance reloads the dataset from the on-disk cache.
+    other = Harness(tiny_profile())
+    reloaded = other.benchmark("ispd2019", "L")
+    np.testing.assert_allclose(reloaded.train.masks, first.train.masks)
+
+
+def test_harness_trains_and_caches_model(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    harness = Harness(tiny_profile())
+    model, history = harness.trained_model("doinn", "ispd2019", "L")
+    assert history["epochs"] == 1
+    weights = list(tmp_path.glob("model-doinn-*.npz"))
+    assert len(weights) == 1
+    # Second call returns the cached pair without retraining.
+    model2, history2 = harness.trained_model("doinn", "ispd2019", "L")
+    assert model2 is model
+    # A fresh harness loads from disk instead of training again.
+    fresh = Harness(tiny_profile())
+    model3, history3 = fresh.trained_model("doinn", "ispd2019", "L")
+    assert history3["epoch_losses"] == history["epoch_losses"]
+
+
+def test_benchmark_config_resolutions():
+    harness = Harness(tiny_profile())
+    low = harness.benchmark_config("n14", "L")
+    high = harness.benchmark_config("n14", "H")
+    assert low.image_size == 32 and high.image_size == 64
+    with pytest.raises(ValueError):
+        harness.benchmark_config("n14", "X")
+
+
+# --------------------------------------------------------------------- #
+# Training-free experiments
+# --------------------------------------------------------------------- #
+def test_table5_7_architecture_summary():
+    result = run_table5_7(image_size=2048)
+    assert 1_200_000 < result["parameters"] < 1_500_000
+    assert result["modes_per_axis"] == 50
+    text = format_table5_7(result)
+    assert "AvePooling" in text and "2048" in text
+
+
+def test_table8_rows(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    result = run_table8(Harness(tiny_profile()))
+    assert dict(result["paper"])["Batch Size"] == 16
+    text = format_table8(result)
+    assert "Adam" in text
+
+
+def test_fourier_cost_comparison():
+    result = run_fourier_cost(image_size=64, channels=4, modes=4, repeats=1)
+    assert result["optimized_unit_s"] > 0
+    assert result["fno_stack_s"] > result["fno_layer_s"]
+    text = format_fourier_cost(result)
+    assert "Optimized Fourier unit" in text

@@ -1,0 +1,95 @@
+"""Tests for design rules and synthetic layout generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layout import (
+    ICCAD2013_RULES,
+    ISPD2019_RULES,
+    N14_RULES,
+    generate_large_layout,
+    generate_layout,
+    generate_metal_layout,
+    generate_via_layout,
+    rules_for,
+)
+from repro.layout.design_rules import DesignRules
+
+
+def test_rules_lookup():
+    assert rules_for("iccad2013").layer_type == "metal"
+    assert rules_for("ISPD2019").layer_type == "via"
+    assert rules_for("n14").via_size < rules_for("ispd2019").via_size
+    with pytest.raises(KeyError):
+        rules_for("unknown")
+
+
+def test_rules_validation():
+    with pytest.raises(ValueError):
+        DesignRules("bad", "via", 100, 0, 10, 10, 10, 0, 0.1)
+    with pytest.raises(ValueError):
+        DesignRules("bad", "via", 100, 10, 10, 10, 10, 0, 1.5)
+
+
+@pytest.mark.parametrize("rules", [ISPD2019_RULES, N14_RULES])
+def test_via_layout_respects_bounds_and_size(rules, rng):
+    layout = generate_via_layout(rules, rng, tile_size=1024.0)
+    assert len(layout) > 0
+    for rect in layout:
+        assert layout.bounds.contains_rect(rect)
+        assert rect.width == pytest.approx(rules.via_size)
+        assert rect.height == pytest.approx(rules.via_size)
+
+
+def test_via_layout_respects_spacing(rng):
+    rules = ISPD2019_RULES
+    layout = generate_via_layout(rules, rng, tile_size=1024.0)
+    shapes = layout.shapes
+    for i, a in enumerate(shapes):
+        grown = a.expanded(rules.min_space - 1e-9)
+        for b in shapes[i + 1 :]:
+            assert not grown.intersects(b), "vias violate minimum spacing"
+
+
+def test_metal_layout_shapes_are_manhattan_wires(rng):
+    layout = generate_metal_layout(ICCAD2013_RULES, rng, tile_size=1024.0)
+    assert len(layout) > 0
+    for rect in layout:
+        width = min(rect.width, rect.height)
+        assert width >= ICCAD2013_RULES.min_width - 1e-9
+        assert max(rect.width, rect.height) <= ICCAD2013_RULES.max_wire_length + 1e-9
+
+
+def test_generate_layout_dispatches_by_layer(rng):
+    via = generate_layout(ISPD2019_RULES, rng, tile_size=512.0)
+    metal = generate_layout(ICCAD2013_RULES, rng, tile_size=512.0)
+    assert via.name == "ispd2019"
+    assert metal.name == "iccad2013"
+
+
+def test_density_scale_increases_density(rng):
+    sparse = generate_via_layout(N14_RULES, np.random.default_rng(7), tile_size=1024.0, density_scale=0.5)
+    dense = generate_via_layout(N14_RULES, np.random.default_rng(7), tile_size=1024.0, density_scale=2.0)
+    assert dense.density > sparse.density
+
+
+def test_generator_is_deterministic_for_seed():
+    a = generate_via_layout(ISPD2019_RULES, np.random.default_rng(3), tile_size=512.0)
+    b = generate_via_layout(ISPD2019_RULES, np.random.default_rng(3), tile_size=512.0)
+    assert a.shapes == b.shapes
+
+
+def test_large_layout_scales_bounds(rng):
+    large = generate_large_layout(ISPD2019_RULES, rng, scale=2)
+    assert large.bounds.width == pytest.approx(2 * ISPD2019_RULES.tile_size)
+    assert len(large) > 0
+    for rect in large:
+        assert large.bounds.contains_rect(rect)
+
+
+def test_large_layout_is_denser_than_nominal(rng):
+    nominal = generate_layout(ISPD2019_RULES, np.random.default_rng(11))
+    large = generate_large_layout(ISPD2019_RULES, np.random.default_rng(11), scale=2, density_scale=2.0)
+    assert large.density > nominal.density

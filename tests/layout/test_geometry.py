@@ -1,0 +1,113 @@
+"""Tests for geometry primitives (Rect, Layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Layout, Rect
+
+
+def rects(max_coord=100.0):
+    coords = st.floats(min_value=0.0, max_value=max_coord, allow_nan=False)
+    sizes = st.floats(min_value=0.5, max_value=max_coord, allow_nan=False)
+    return st.builds(lambda x, y, w, h: Rect(x, y, x + w, y + h), coords, coords, sizes, sizes)
+
+
+def test_rect_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Rect(0, 0, 0, 1)
+    with pytest.raises(ValueError):
+        Rect(0, 0, 1, 0)
+    with pytest.raises(ValueError):
+        Rect(5, 5, 4, 6)
+
+
+def test_rect_properties():
+    r = Rect(1.0, 2.0, 4.0, 8.0)
+    assert r.width == 3.0
+    assert r.height == 6.0
+    assert r.area == 18.0
+    assert r.center == (2.5, 5.0)
+
+
+def test_rect_translation_and_expansion():
+    r = Rect(0, 0, 2, 2)
+    assert r.translated(1, 2) == Rect(1, 2, 3, 4)
+    assert r.expanded(1) == Rect(-1, -1, 3, 3)
+    assert r.expanded(-0.5) == Rect(0.5, 0.5, 1.5, 1.5)
+
+
+def test_rect_intersection():
+    a = Rect(0, 0, 4, 4)
+    b = Rect(2, 2, 6, 6)
+    c = Rect(10, 10, 12, 12)
+    assert a.intersects(b)
+    assert not a.intersects(c)
+    assert a.intersection(b) == Rect(2, 2, 4, 4)
+    assert a.intersection(c) is None
+
+
+def test_rect_touching_edges_do_not_intersect():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(2, 0, 4, 2)
+    assert not a.intersects(b)
+
+
+def test_rect_containment():
+    outer = Rect(0, 0, 10, 10)
+    inner = Rect(2, 2, 5, 5)
+    assert outer.contains_rect(inner)
+    assert not inner.contains_rect(outer)
+    assert outer.contains_point(0, 0)
+    assert not outer.contains_point(10, 10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rects(), rects())
+def test_intersection_is_commutative_and_contained(a, b):
+    ab = a.intersection(b)
+    ba = b.intersection(a)
+    assert (ab is None) == (ba is None)
+    if ab is not None:
+        assert ab == ba
+        assert a.contains_rect(ab) or ab.area <= a.area + 1e-9
+        assert ab.area <= min(a.area, b.area) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(rects(), st.floats(min_value=-200, max_value=200), st.floats(min_value=-200, max_value=200))
+def test_translation_preserves_area(rect, dx, dy):
+    assert rect.translated(dx, dy).area == pytest.approx(rect.area)
+
+
+def test_layout_density_and_area():
+    layout = Layout(bounds=Rect(0, 0, 10, 10))
+    layout.add(Rect(0, 0, 5, 5))
+    layout.add(Rect(5, 5, 10, 10))
+    assert layout.total_area == 50.0
+    assert layout.density == pytest.approx(0.5)
+    assert len(layout) == 2
+
+
+def test_layout_clipping_rereferences_origin():
+    layout = Layout(bounds=Rect(0, 0, 10, 10), shapes=[Rect(4, 4, 8, 8)])
+    window = Rect(5, 5, 10, 10)
+    clipped = layout.clipped(window)
+    assert len(clipped) == 1
+    assert clipped.shapes[0] == Rect(0, 0, 3, 3)
+    assert clipped.bounds == Rect(0, 0, 5, 5)
+
+
+def test_layout_clipping_drops_outside_shapes():
+    layout = Layout(bounds=Rect(0, 0, 10, 10), shapes=[Rect(0, 0, 1, 1), Rect(8, 8, 9, 9)])
+    clipped = layout.clipped(Rect(4, 4, 6, 6))
+    assert len(clipped) == 0
+
+
+def test_layout_iteration():
+    shapes = [Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)]
+    layout = Layout(bounds=Rect(0, 0, 5, 5), shapes=list(shapes))
+    assert list(layout) == shapes

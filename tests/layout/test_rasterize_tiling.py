@@ -1,0 +1,129 @@
+"""Tests for rasterization and tiling (large-tile scheme support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import (
+    Layout,
+    Rect,
+    assemble_image,
+    coverage_rasterize,
+    extract_tiles,
+    rasterize,
+    split_image,
+    stitch_cores,
+)
+
+
+def test_rasterize_single_rect_area():
+    layout = Layout(bounds=Rect(0, 0, 16, 16), shapes=[Rect(2, 3, 6, 9)])
+    image = rasterize(layout, pixel_size=1.0)
+    assert image.shape == (16, 16)
+    assert image.sum() == pytest.approx(4 * 6)
+    # Row index is y: the rectangle occupies rows 3..9 and columns 2..6.
+    assert image[5, 3] == 1.0
+    assert image[0, 0] == 0.0
+
+
+def test_rasterize_pixel_size_scales_resolution():
+    layout = Layout(bounds=Rect(0, 0, 32, 32), shapes=[Rect(0, 0, 16, 16)])
+    fine = rasterize(layout, pixel_size=1.0)
+    coarse = rasterize(layout, pixel_size=2.0)
+    assert fine.shape == (32, 32)
+    assert coarse.shape == (16, 16)
+    assert fine.sum() == pytest.approx(4 * coarse.sum())
+
+
+def test_rasterize_values_are_binary(rng):
+    shapes = [Rect(float(i), float(i), float(i + 3), float(i + 3)) for i in range(0, 20, 2)]
+    layout = Layout(bounds=Rect(0, 0, 32, 32), shapes=shapes)
+    image = rasterize(layout)
+    assert set(np.unique(image)).issubset({0.0, 1.0})
+
+
+def test_coverage_rasterize_partial_pixels():
+    layout = Layout(bounds=Rect(0, 0, 4, 4), shapes=[Rect(0.5, 0.5, 1.5, 1.5)])
+    image = coverage_rasterize(layout, pixel_size=1.0)
+    assert image.sum() == pytest.approx(1.0)
+    assert image[0, 0] == pytest.approx(0.25)
+
+
+def test_coverage_rasterize_matches_hard_rasterize_on_aligned_shapes():
+    layout = Layout(bounds=Rect(0, 0, 8, 8), shapes=[Rect(2, 2, 6, 6)])
+    np.testing.assert_allclose(coverage_rasterize(layout), rasterize(layout))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=10),
+)
+def test_rasterized_area_matches_rect_area(x, y, w, h):
+    layout = Layout(bounds=Rect(0, 0, 32, 32), shapes=[Rect(x, y, min(x + w, 32), min(y + h, 32))])
+    image = rasterize(layout, pixel_size=1.0)
+    assert image.sum() == pytest.approx(layout.shapes[0].area)
+
+
+# --------------------------------------------------------------------- #
+# Tiling
+# --------------------------------------------------------------------- #
+def test_split_and_assemble_roundtrip(rng):
+    image = rng.standard_normal((32, 32))
+    tiles, specs = split_image(image, 8)
+    assert tiles.shape == (16, 8, 8)
+    np.testing.assert_allclose(assemble_image(tiles, specs, image.shape), image)
+
+
+def test_extract_tiles_half_overlap(rng):
+    image = rng.standard_normal((32, 32))
+    tiles, specs = extract_tiles(image, 16)
+    # stride 8: 3x3 tiles
+    assert tiles.shape == (9, 16, 16)
+    offsets = {(s.y0, s.x0) for s in specs}
+    assert (0, 0) in offsets and (8, 8) in offsets and (16, 16) in offsets
+
+
+def test_extract_tiles_requires_divisible_size(rng):
+    with pytest.raises(ValueError):
+        extract_tiles(rng.standard_normal((30, 30)), 16)
+
+
+def test_stitch_cores_reconstructs_identity(rng):
+    """If tiles are raw crops, stitching their cores reproduces the image."""
+    image = rng.standard_normal((32, 32))
+    tiles, specs = extract_tiles(image, 16)
+    stitched = stitch_cores(tiles, specs, image.shape, margin=4)
+    np.testing.assert_allclose(stitched, image)
+
+
+def test_stitch_cores_with_channels(rng):
+    image = rng.standard_normal((32, 32))
+    tiles, specs = extract_tiles(image, 16)
+    tiles_c = np.stack([tiles, 2.0 * tiles], axis=1)  # (n, 2, 16, 16)
+    stitched = stitch_cores(tiles_c, specs, image.shape, margin=4)
+    assert stitched.shape == (2, 32, 32)
+    np.testing.assert_allclose(stitched[0], image)
+    np.testing.assert_allclose(stitched[1], 2.0 * image)
+
+
+def test_stitch_cores_ignores_tile_boundary_garbage(rng):
+    """Values inside the margin ring of interior tile edges must not leak out."""
+    image = rng.standard_normal((32, 32))
+    tiles, specs = extract_tiles(image, 16)
+    corrupted = tiles.copy()
+    margin = 4
+    for i, spec in enumerate(specs):
+        # Corrupt the outer ring of every tile (what the optical diameter
+        # argument says cannot be trusted).
+        corrupted[i][:margin, :] = 999.0 if spec.y0 != 0 else corrupted[i][:margin, :]
+        corrupted[i][-margin:, :] = 999.0 if spec.y0 + 16 != 32 else corrupted[i][-margin:, :]
+        corrupted[i][:, :margin] = 999.0 if spec.x0 != 0 else corrupted[i][:, :margin]
+        corrupted[i][:, -margin:] = 999.0 if spec.x0 + 16 != 32 else corrupted[i][:, -margin:]
+    stitched = stitch_cores(corrupted, specs, image.shape, margin=margin)
+    np.testing.assert_allclose(stitched, image)

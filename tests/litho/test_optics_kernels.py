@@ -1,0 +1,106 @@
+"""Tests for the optical model and SOCS kernel generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.litho import (
+    OpticalSettings,
+    compute_tcc_matrix,
+    generate_kernels,
+    pupil_function,
+    source_points,
+)
+
+
+@pytest.fixture(scope="module")
+def settings() -> OpticalSettings:
+    return OpticalSettings()
+
+
+@pytest.fixture(scope="module")
+def kernels(settings):
+    return generate_kernels(settings, num_kernels=8, pixel_size=8.0, kernel_support=25, grid_size=17)
+
+
+def test_optical_settings_validation():
+    with pytest.raises(ValueError):
+        OpticalSettings(wavelength=-1.0)
+    with pytest.raises(ValueError):
+        OpticalSettings(sigma_in=0.9, sigma_out=0.5)
+
+
+def test_cutoff_and_optical_diameter(settings):
+    assert settings.cutoff_frequency == pytest.approx(1.35 / 193.0)
+    assert settings.max_frequency > settings.cutoff_frequency
+    # The optical diameter must exceed several minimum half-pitches.
+    assert settings.optical_diameter > 5 * 0.5 * settings.wavelength / settings.numerical_aperture
+
+
+def test_source_points_lie_in_annulus(settings):
+    points, weights = source_points(settings, samples_per_axis=21)
+    radius = np.linalg.norm(points, axis=1) / settings.cutoff_frequency
+    assert np.all(radius >= settings.sigma_in - 1e-12)
+    assert np.all(radius <= settings.sigma_out + 1e-12)
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_circular_source_when_sigma_in_zero():
+    settings = OpticalSettings(sigma_in=0.0, sigma_out=0.7)
+    points, _ = source_points(settings, samples_per_axis=15)
+    assert np.any(np.linalg.norm(points, axis=1) < 0.1 * settings.cutoff_frequency)
+
+
+def test_pupil_passes_low_and_blocks_high_frequencies(settings):
+    f_cut = settings.cutoff_frequency
+    inside = pupil_function(np.array([0.5 * f_cut]), np.array([0.0]), settings)
+    outside = pupil_function(np.array([1.5 * f_cut]), np.array([0.0]), settings)
+    assert abs(inside[0]) == pytest.approx(1.0)
+    assert abs(outside[0]) == pytest.approx(0.0)
+
+
+def test_pupil_defocus_adds_phase_only(settings):
+    defocused = OpticalSettings(defocus=50.0)
+    f = np.array([0.5 * defocused.cutoff_frequency])
+    value = pupil_function(f, np.array([0.0]), defocused)
+    assert abs(abs(value[0]) - 1.0) < 1e-12
+    assert value[0].imag != 0.0
+
+
+def test_tcc_matrix_is_hermitian_psd(settings):
+    tcc, _, _ = compute_tcc_matrix(settings, grid_size=13, source_samples=11)
+    np.testing.assert_allclose(tcc, tcc.conj().T, atol=1e-12)
+    eigenvalues = np.linalg.eigvalsh(tcc)
+    assert eigenvalues.min() > -1e-9
+
+
+def test_kernel_eigenvalues_sorted_and_nonnegative(kernels):
+    assert np.all(kernels.eigenvalues >= 0.0)
+    assert np.all(np.diff(kernels.eigenvalues) <= 1e-9)
+
+
+def test_kernel_shapes_and_truncation(kernels):
+    assert kernels.kernels.shape == (8, 25, 25)
+    truncated = kernels.truncated(3)
+    assert truncated.count == 3
+    np.testing.assert_allclose(truncated.eigenvalues, kernels.eigenvalues[:3])
+
+
+def test_dominant_kernel_concentrated_at_centre(kernels):
+    dominant = np.abs(kernels.kernels[0]) ** 2
+    support = kernels.support
+    half = 4  # 9x9 window = 72 nm x 72 nm around the centre
+    centre = dominant[
+        support // 2 - half : support // 2 + half + 1, support // 2 - half : support // 2 + half + 1
+    ].sum()
+    assert centre > 0.5 * dominant.sum()
+
+
+def test_first_eigenvalue_dominates(kernels):
+    assert kernels.eigenvalues[0] > 2.0 * kernels.eigenvalues[3]
+
+
+def test_kernel_support_must_be_odd(settings):
+    with pytest.raises(ValueError):
+        generate_kernels(settings, kernel_support=24)

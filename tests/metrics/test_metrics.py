@@ -1,0 +1,155 @@
+"""Tests of the mIOU/mPA and contour metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    confusion_counts,
+    contour_distance_stats,
+    critical_dimension,
+    extract_contour,
+    iou,
+    mean_iou,
+    mean_pixel_accuracy,
+    pixel_accuracy,
+)
+
+
+def test_perfect_prediction_scores_one():
+    target = np.zeros((16, 16))
+    target[4:12, 4:12] = 1.0
+    assert iou(target, target) == 1.0
+    assert pixel_accuracy(target, target) == 1.0
+    assert mean_iou(target, target) == 1.0
+    assert mean_pixel_accuracy(target, target) == 1.0
+
+
+def test_disjoint_prediction_scores_low():
+    target = np.zeros((16, 16))
+    target[:8] = 1.0
+    prediction = np.zeros((16, 16))
+    prediction[8:] = 1.0
+    assert iou(prediction, target) == 0.0
+    assert pixel_accuracy(prediction, target) == 0.0
+    assert mean_iou(prediction, target) == 0.0
+
+
+def test_half_overlap_values():
+    target = np.zeros((4, 4))
+    target[:, :2] = 1.0
+    prediction = np.zeros((4, 4))
+    prediction[:2, :2] = 1.0
+    # foreground: inter 4, union 8 -> 0.5 ; background: inter 8, union 12 -> 2/3
+    assert iou(prediction, target) == pytest.approx(0.5)
+    assert mean_iou(prediction, target) == pytest.approx(0.5 * (0.5 + 8 / 12))
+    # foreground PA: 4/8 ; background PA: 8/8
+    assert mean_pixel_accuracy(prediction, target) == pytest.approx(0.5 * (0.5 + 1.0))
+
+
+def test_empty_images_are_perfect_match():
+    empty = np.zeros((8, 8))
+    assert iou(empty, empty) == 1.0
+    assert pixel_accuracy(empty, empty) == 1.0
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        iou(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+def test_confusion_counts_sum_to_pixels():
+    rng = np.random.default_rng(0)
+    prediction = rng.random((16, 16))
+    target = rng.random((16, 16))
+    counts = confusion_counts(prediction, target)
+    assert sum(counts.values()) == 16 * 16
+
+
+def test_soft_predictions_are_thresholded():
+    target = np.zeros((8, 8))
+    target[2:6, 2:6] = 1.0
+    soft = target * 0.9 + 0.05
+    assert iou(soft, target) == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(np.float64, (12, 12), elements=st.floats(0, 1)),
+    hnp.arrays(np.float64, (12, 12), elements=st.floats(0, 1)),
+)
+def test_metric_bounds_and_symmetry(a, b):
+    for metric in (iou, mean_iou, mean_pixel_accuracy, pixel_accuracy):
+        value = metric(a, b)
+        assert 0.0 <= value <= 1.0
+    # IOU (single class) is symmetric in its arguments.
+    assert iou(a, b) == pytest.approx(iou(b, a))
+    assert mean_iou(a, b) == pytest.approx(mean_iou(b, a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (12, 12), elements=st.floats(0, 1)))
+def test_metrics_maximized_by_identity(image):
+    assert iou(image, image) == 1.0
+    assert mean_iou(image, image) == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Contour metrics
+# --------------------------------------------------------------------- #
+def test_extract_contour_ring():
+    image = np.zeros((10, 10))
+    image[2:8, 2:8] = 1.0
+    contour = extract_contour(image)
+    assert contour[2, 2] and contour[2, 5] and contour[7, 7]
+    assert not contour[4, 4]  # interior
+    assert not contour[0, 0]  # background
+
+
+def test_contour_distance_zero_for_identical():
+    image = np.zeros((16, 16))
+    image[4:12, 4:12] = 1.0
+    stats = contour_distance_stats(image, image)
+    assert stats["mean"] == 0.0
+    assert stats["max"] == 0.0
+
+
+def test_contour_distance_grows_with_offset():
+    base = np.zeros((32, 32))
+    base[8:16, 8:16] = 1.0
+    near = np.roll(base, 1, axis=0)
+    far = np.roll(base, 5, axis=0)
+    near_stats = contour_distance_stats(near, base)
+    far_stats = contour_distance_stats(far, base)
+    assert near_stats["mean"] < far_stats["mean"]
+    assert near_stats["max"] <= far_stats["max"]
+
+
+def test_contour_distance_missing_prediction_is_penalized():
+    target = np.zeros((16, 16))
+    target[4:12, 4:12] = 1.0
+    stats = contour_distance_stats(np.zeros_like(target), target)
+    assert stats["mean"] > 10.0
+
+
+def test_contour_distance_both_empty():
+    stats = contour_distance_stats(np.zeros((8, 8)), np.zeros((8, 8)))
+    assert stats == {"mean": 0.0, "max": 0.0}
+
+
+def test_critical_dimension_measures_line_width():
+    image = np.zeros((16, 16))
+    image[8, 3:11] = 1.0
+    assert critical_dimension(image, 8) == 8.0
+    assert critical_dimension(image, 0) == 0.0
+
+
+def test_critical_dimension_takes_longest_run():
+    image = np.zeros((8, 16))
+    image[4, 0:3] = 1.0
+    image[4, 6:14] = 1.0
+    assert critical_dimension(image, 4) == 8.0

@@ -1,0 +1,171 @@
+"""Tests of the Module system and the concrete layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    FNOFourierLayer,
+    Identity,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    OptimizedFourierUnit,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    UpsampleNearest2d,
+)
+
+
+def test_module_registers_parameters_and_submodules():
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.conv = Conv2d(1, 2, 3)
+            self.scale = Parameter(np.ones(1))
+
+        def forward(self, x):
+            return self.conv(x) * self.scale
+
+    net = Net()
+    names = dict(net.named_parameters())
+    assert "scale" in names
+    assert "conv.weight" in names
+    assert "conv.bias" in names
+    assert net.num_parameters() == 2 * 1 * 3 * 3 + 2 + 1
+
+
+def test_train_eval_propagates():
+    net = Sequential(Conv2d(1, 1, 3), BatchNorm2d(1))
+    net.eval()
+    assert all(not m.training for m in net.modules())
+    net.train()
+    assert all(m.training for m in net.modules())
+
+
+def test_zero_grad_clears_gradients(rng):
+    conv = Conv2d(1, 1, 3, padding=1)
+    out = conv(Tensor(rng.standard_normal((1, 1, 4, 4))))
+    out.sum().backward()
+    assert conv.weight.grad is not None
+    conv.zero_grad()
+    assert conv.weight.grad is None
+
+
+def test_state_dict_roundtrip(rng):
+    net = Sequential(Conv2d(1, 4, 3, padding=1, rng=rng), BatchNorm2d(4), Conv2d(4, 1, 3, padding=1, rng=rng))
+    x = Tensor(rng.standard_normal((1, 1, 8, 8)))
+    net.eval()
+    before = net(x).numpy()
+
+    other = Sequential(Conv2d(1, 4, 3, padding=1), BatchNorm2d(4), Conv2d(4, 1, 3, padding=1))
+    other.load_state_dict(net.state_dict())
+    other.eval()
+    after = other(x).numpy()
+    np.testing.assert_allclose(before, after)
+
+
+def test_load_state_dict_shape_mismatch_raises():
+    a = Conv2d(1, 2, 3)
+    b = Conv2d(1, 3, 3)
+    with pytest.raises(ValueError):
+        b.load_state_dict(a.state_dict())
+
+
+def test_load_state_dict_missing_key_raises():
+    a = Conv2d(1, 2, 3, bias=False)
+    b = Conv2d(1, 2, 3, bias=True)
+    with pytest.raises(KeyError):
+        b.load_state_dict(a.state_dict())
+
+
+def test_sequential_applies_in_order(rng):
+    net = Sequential(Identity(), ReLU())
+    x = Tensor(np.array([[-1.0, 2.0]]))
+    np.testing.assert_allclose(net(x).numpy(), [[0.0, 2.0]])
+    assert len(net) == 2
+
+
+@pytest.mark.parametrize(
+    "layer, input_shape, expected_shape",
+    [
+        (Conv2d(3, 8, 3, stride=1, padding=1), (2, 3, 16, 16), (2, 8, 16, 16)),
+        (Conv2d(1, 4, 4, stride=2, padding=1), (1, 1, 16, 16), (1, 4, 8, 8)),
+        (ConvTranspose2d(4, 2, 4, stride=2, padding=1), (1, 4, 8, 8), (1, 2, 16, 16)),
+        (AvgPool2d(8), (1, 1, 32, 32), (1, 1, 4, 4)),
+        (MaxPool2d(2), (1, 3, 8, 8), (1, 3, 4, 4)),
+        (UpsampleNearest2d(2), (1, 2, 4, 4), (1, 2, 8, 8)),
+        (BatchNorm2d(5), (2, 5, 4, 4), (2, 5, 4, 4)),
+    ],
+)
+def test_layer_output_shapes(layer, input_shape, expected_shape, rng):
+    x = Tensor(rng.standard_normal(input_shape))
+    assert layer(x).shape == expected_shape
+
+
+@pytest.mark.parametrize("activation", [ReLU(), LeakyReLU(0.2), Sigmoid(), Tanh()])
+def test_activation_layers_preserve_shape(activation, rng):
+    x = Tensor(rng.standard_normal((2, 3, 4, 4)))
+    assert activation(x).shape == (2, 3, 4, 4)
+
+
+def test_optimized_fourier_unit_shapes_and_params(rng):
+    unit = OptimizedFourierUnit(1, 16, modes=4, rng=rng)
+    x = Tensor(rng.standard_normal((2, 1, 32, 32)))
+    out = unit(x)
+    assert out.shape == (2, 16, 32, 32)
+    # lift: 1*16*2, mix: 16*16*8*8*2
+    assert unit.num_parameters() == 1 * 16 * 2 + 16 * 16 * 8 * 8 * 2
+
+
+def test_optimized_fourier_unit_trains(rng):
+    """A single Fourier unit can fit a low-frequency target."""
+    from repro.nn import Adam, mse_loss
+
+    unit = OptimizedFourierUnit(1, 2, modes=3, rng=rng)
+    x = Tensor(rng.standard_normal((4, 1, 16, 16)))
+    # Low-frequency target representable by the unit (modes kept: 3 per axis).
+    freq = np.fft.fft2(x.numpy(), axes=(-2, -1))
+    freq[..., 3:-3, :] = 0
+    freq[..., :, 3:-3] = 0
+    target = Tensor(np.repeat(np.fft.ifft2(freq).real, 2, axis=1))
+
+    optimizer = Adam(unit.parameters(), lr=0.05)
+    first_loss = None
+    for _ in range(60):
+        optimizer.zero_grad()
+        loss = mse_loss(unit(x), target)
+        loss.backward()
+        optimizer.step()
+        if first_loss is None:
+            first_loss = loss.item()
+    assert loss.item() < first_loss * 0.5
+
+
+def test_fno_fourier_layer_shapes(rng):
+    layer = FNOFourierLayer(channels=4, modes=3, rng=rng)
+    x = Tensor(rng.standard_normal((1, 4, 16, 16)))
+    assert layer(x).shape == (1, 4, 16, 16)
+
+
+def test_fno_layer_without_bypass_has_fewer_params(rng):
+    with_bypass = FNOFourierLayer(channels=4, modes=3, use_bypass=True, rng=rng)
+    without = FNOFourierLayer(channels=4, modes=3, use_bypass=False, rng=rng)
+    assert with_bypass.num_parameters() > without.num_parameters()
+
+
+def test_gradients_flow_through_stacked_fno_layers(rng):
+    net = Sequential(FNOFourierLayer(2, 2, rng=rng), FNOFourierLayer(2, 2, rng=rng))
+    x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+    net(x).sum().backward()
+    for _, param in net.named_parameters():
+        assert param.grad is not None

@@ -1,0 +1,164 @@
+"""Tests of optimizers, LR schedules, losses and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BCELoss,
+    Conv2d,
+    DiceLoss,
+    MSELoss,
+    Parameter,
+    Sequential,
+    StepLR,
+    Tensor,
+    bce_loss,
+    dice_loss,
+    load_model,
+    load_state,
+    mse_loss,
+    save_model,
+    save_state,
+)
+
+
+# --------------------------------------------------------------------- #
+# Optimizers
+# --------------------------------------------------------------------- #
+def test_sgd_minimizes_quadratic():
+    w = Parameter(np.array([5.0]))
+    optimizer = SGD([w], lr=0.1)
+    for _ in range(100):
+        optimizer.zero_grad()
+        loss = (w * w).sum()
+        loss.backward()
+        optimizer.step()
+    assert abs(w.data[0]) < 1e-3
+
+
+def test_sgd_momentum_converges_faster_than_plain():
+    def run(momentum):
+        w = Parameter(np.array([5.0]))
+        optimizer = SGD([w], lr=0.02, momentum=momentum)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (w * w).sum().backward()
+            optimizer.step()
+        return abs(w.data[0])
+
+    assert run(0.9) < run(0.0)
+
+
+def test_adam_minimizes_quadratic():
+    w = Parameter(np.array([3.0, -2.0]))
+    optimizer = Adam([w], lr=0.1)
+    for _ in range(200):
+        optimizer.zero_grad()
+        (w * w).sum().backward()
+        optimizer.step()
+    np.testing.assert_allclose(w.data, [0.0, 0.0], atol=1e-2)
+
+
+def test_weight_decay_shrinks_parameters():
+    w = Parameter(np.array([1.0]))
+    optimizer = SGD([w], lr=0.1, weight_decay=0.5)
+    for _ in range(20):
+        optimizer.zero_grad()
+        # Zero data gradient: only weight decay acts.
+        (w * 0.0).sum().backward()
+        optimizer.step()
+    assert abs(w.data[0]) < 1.0
+
+
+def test_optimizer_requires_parameters():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_optimizer_skips_parameters_without_grad():
+    w = Parameter(np.array([1.0]))
+    optimizer = Adam([w], lr=0.1)
+    optimizer.step()  # no backward was run; should not raise
+    np.testing.assert_allclose(w.data, [1.0])
+
+
+def test_step_lr_matches_paper_schedule():
+    """Table 8: initial LR 0.002, halved every 2 epochs."""
+    w = Parameter(np.array([1.0]))
+    optimizer = Adam([w], lr=0.002)
+    scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+    lrs = []
+    for _ in range(6):
+        lrs.append(optimizer.lr)
+        scheduler.step()
+    np.testing.assert_allclose(lrs, [0.002, 0.002, 0.001, 0.001, 0.0005, 0.0005])
+
+
+# --------------------------------------------------------------------- #
+# Losses
+# --------------------------------------------------------------------- #
+def test_mse_loss_zero_for_identical():
+    x = Tensor(np.ones((2, 3)))
+    assert mse_loss(x, Tensor(np.ones((2, 3)))).item() == 0.0
+
+
+def test_mse_loss_value():
+    pred = Tensor(np.array([1.0, 2.0]))
+    target = Tensor(np.array([0.0, 0.0]))
+    assert mse_loss(pred, target).item() == pytest.approx(2.5)
+
+
+def test_bce_loss_is_low_for_confident_correct():
+    pred = Tensor(np.array([0.99, 0.01]))
+    target = Tensor(np.array([1.0, 0.0]))
+    assert bce_loss(pred, target).item() < 0.05
+
+
+def test_bce_loss_handles_saturated_predictions():
+    pred = Tensor(np.array([1.0, 0.0]))
+    target = Tensor(np.array([0.0, 1.0]))
+    value = bce_loss(pred, target).item()
+    assert np.isfinite(value) and value > 1.0
+
+
+def test_dice_loss_bounds():
+    perfect = dice_loss(Tensor(np.ones((4, 4))), Tensor(np.ones((4, 4)))).item()
+    disjoint = dice_loss(Tensor(np.eye(4)), Tensor(1.0 - np.eye(4))).item()
+    assert perfect == pytest.approx(0.0, abs=1e-5)
+    assert disjoint == pytest.approx(1.0, abs=1e-5)
+
+
+@pytest.mark.parametrize("loss_cls", [MSELoss, BCELoss, DiceLoss])
+def test_loss_modules_are_differentiable(loss_cls, rng):
+    pred = Tensor(rng.uniform(0.1, 0.9, size=(2, 1, 4, 4)), requires_grad=True)
+    target = Tensor(rng.integers(0, 2, size=(2, 1, 4, 4)).astype(float))
+    loss = loss_cls()(pred, target)
+    loss.backward()
+    assert pred.grad is not None
+    assert np.isfinite(pred.grad).all()
+
+
+# --------------------------------------------------------------------- #
+# Serialization
+# --------------------------------------------------------------------- #
+def test_save_and_load_state_roundtrip(tmp_path, rng):
+    state = {"a": rng.standard_normal((3, 3)), "b": np.array([1.0])}
+    path = save_state(state, tmp_path / "weights.npz")
+    loaded = load_state(path)
+    np.testing.assert_allclose(loaded["a"], state["a"])
+    np.testing.assert_allclose(loaded["b"], state["b"])
+
+
+def test_save_and_load_model_roundtrip(tmp_path, rng):
+    model = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng), Conv2d(2, 1, 3, padding=1, rng=rng))
+    x = Tensor(rng.standard_normal((1, 1, 6, 6)))
+    expected = model(x).numpy()
+    path = save_model(model, tmp_path / "model.npz")
+
+    fresh = Sequential(Conv2d(1, 2, 3, padding=1), Conv2d(2, 1, 3, padding=1))
+    load_model(fresh, path)
+    np.testing.assert_allclose(fresh(x).numpy(), expected)

@@ -1,0 +1,141 @@
+"""Gradient and adjoint checks for the spectral (Fourier-domain) operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.spectral import (
+    fourier_unit,
+    scatter_spectrum,
+    spectral_conv2d,
+    truncate_spectrum,
+    truncation_indices,
+)
+from tests.conftest import numeric_gradient
+
+
+def test_truncation_indices_shape_and_bounds():
+    rows, cols = truncation_indices(16, 16, 3)
+    assert len(rows) == 6 and len(cols) == 6
+    assert rows.max() < 16 and cols.max() < 16
+
+
+def test_truncation_rejects_too_many_modes():
+    with pytest.raises(ValueError):
+        truncation_indices(8, 8, 5)
+
+
+def test_truncate_scatter_roundtrip(rng):
+    spectrum = rng.standard_normal((2, 3, 16, 16)) + 1j * rng.standard_normal((2, 3, 16, 16))
+    block = truncate_spectrum(spectrum, 4)
+    full = scatter_spectrum(block, 16, 16, 4)
+    np.testing.assert_allclose(truncate_spectrum(full, 4), block)
+    # Everything outside the retained block is zero.
+    assert np.count_nonzero(full) <= block.size
+
+
+def test_scatter_is_adjoint_of_truncate(rng):
+    """<truncate(x), y> == <x, scatter(y)> over the complex inner product."""
+    x = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+    y = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+    lhs = np.vdot(y, truncate_spectrum(x, 2))
+    rhs = np.vdot(scatter_spectrum(y, 8, 8, 2), x)
+    np.testing.assert_allclose(lhs, rhs)
+
+
+def test_fourier_unit_output_shape(rng):
+    x = Tensor(rng.standard_normal((2, 1, 16, 16)))
+    lift = Tensor(rng.standard_normal((1, 4, 2)))
+    mix = Tensor(rng.standard_normal((4, 4, 6, 6, 2)))
+    out = fourier_unit(x, lift, mix, modes=3)
+    assert out.shape == (2, 4, 16, 16)
+    assert not np.iscomplexobj(out.numpy())
+
+
+def test_fourier_unit_rejects_bad_mode_count(rng):
+    x = Tensor(rng.standard_normal((1, 1, 16, 16)))
+    lift = Tensor(rng.standard_normal((1, 2, 2)))
+    mix = Tensor(rng.standard_normal((2, 2, 4, 4, 2)))
+    with pytest.raises(ValueError):
+        fourier_unit(x, lift, mix, modes=3)
+
+
+def test_fourier_unit_is_linear_in_input(rng):
+    x1 = rng.standard_normal((1, 1, 12, 12))
+    x2 = rng.standard_normal((1, 1, 12, 12))
+    lift = Tensor(rng.standard_normal((1, 3, 2)))
+    mix = Tensor(rng.standard_normal((3, 3, 4, 4, 2)))
+
+    def apply(arr):
+        return fourier_unit(Tensor(arr), lift, mix, modes=2).numpy()
+
+    np.testing.assert_allclose(apply(x1 + 2.0 * x2), apply(x1) + 2.0 * apply(x2), atol=1e-10)
+
+
+def test_fourier_unit_gradients_match_numeric(rng):
+    x = rng.standard_normal((1, 1, 8, 8))
+    lift = rng.standard_normal((1, 2, 2)) * 0.5
+    mix = rng.standard_normal((2, 2, 4, 4, 2)) * 0.5
+    target = rng.standard_normal((1, 2, 8, 8))
+
+    def build(xt, lt, mt):
+        out = fourier_unit(xt, lt, mt, modes=2)
+        diff = out - Tensor(target)
+        return (diff * diff).sum()
+
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in (x, lift, mix)]
+    build(*tensors).backward()
+
+    for array, tensor in zip((x, lift, mix), tensors):
+        def scalar():
+            fresh = [Tensor(a) for a in (x, lift, mix)]
+            return float(build(*fresh).item())
+
+        numeric = numeric_gradient(scalar, array)
+        np.testing.assert_allclose(tensor.grad, numeric, atol=1e-4)
+
+
+def test_spectral_conv2d_gradients_match_numeric(rng):
+    x = rng.standard_normal((1, 2, 8, 8))
+    mix = rng.standard_normal((2, 3, 4, 4, 2)) * 0.5
+    target = rng.standard_normal((1, 3, 8, 8))
+
+    def build(xt, mt):
+        out = spectral_conv2d(xt, mt, modes=2)
+        diff = out - Tensor(target)
+        return (diff * diff).sum()
+
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in (x, mix)]
+    build(*tensors).backward()
+
+    for array, tensor in zip((x, mix), tensors):
+        def scalar():
+            fresh = [Tensor(a) for a in (x, mix)]
+            return float(build(*fresh).item())
+
+        numeric = numeric_gradient(scalar, array)
+        np.testing.assert_allclose(tensor.grad, numeric, atol=1e-4)
+
+
+def test_spectral_conv2d_low_pass_behaviour(rng):
+    """With identity-like mixing weights, high-frequency content is removed."""
+    h = w = 32
+    # Pure high-frequency checkerboard has no energy in the retained low modes.
+    xx, yy = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    checkerboard = ((xx + yy) % 2).astype(float) - 0.5
+    x = Tensor(checkerboard.reshape(1, 1, h, w))
+    mix = np.zeros((1, 1, 8, 8, 2))
+    mix[..., 0] = 1.0  # identity mixing (real part one)
+    out = spectral_conv2d(x, Tensor(mix), modes=4).numpy()
+    assert np.abs(out).max() < 1e-10
+
+
+def test_spectral_conv2d_preserves_dc_component(rng):
+    """A constant image passes through identity mixing unchanged."""
+    x = Tensor(np.full((1, 1, 16, 16), 3.0))
+    mix = np.zeros((1, 1, 4, 4, 2))
+    mix[..., 0] = 1.0
+    out = spectral_conv2d(x, Tensor(mix), modes=2).numpy()
+    np.testing.assert_allclose(out, np.full((1, 1, 16, 16), 3.0), atol=1e-10)

@@ -1,0 +1,145 @@
+"""Tests for edge fragmentation, mask construction and SRAF insertion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layout import Layout, Rect
+from repro.opc import build_mask, fragment_layout, insert_srafs, sraf_rects_pixels
+from repro.opc.fragments import _fragment_spans
+
+
+def simple_layout(size=512.0):
+    layout = Layout(bounds=Rect(0, 0, size, size))
+    layout.add(Rect(100, 100, 164, 164))
+    layout.add(Rect(300, 100, 364, 420))
+    return layout
+
+
+def test_fragment_spans_cover_range_without_overlap():
+    spans = _fragment_spans(0, 100, 32)
+    assert spans[0][0] == 0 and spans[-1][1] == 100
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 == b0
+    assert all(b - a <= 34 for a, b in spans)
+
+
+def test_fragment_spans_empty_for_degenerate_range():
+    assert _fragment_spans(5, 5, 32) == []
+
+
+def test_fragment_layout_produces_four_sides():
+    shapes = fragment_layout(simple_layout(), pixel_size=4.0, max_fragment_length=100)
+    assert len(shapes) == 2
+    sides = {f.side for f in shapes[0].fragments}
+    assert sides == {"left", "right", "top", "bottom"}
+
+
+def test_long_edges_get_multiple_fragments():
+    shapes = fragment_layout(simple_layout(), pixel_size=4.0, max_fragment_length=20)
+    tall_shape = shapes[1]  # 64 x 320 nm wire -> 80 pixels tall
+    left_fragments = [f for f in tall_shape.fragments if f.side == "left"]
+    assert len(left_fragments) == 4
+
+
+def test_control_points_lie_on_drawn_edges():
+    shapes = fragment_layout(simple_layout(), pixel_size=4.0)
+    row0, col0, row1, col1 = shapes[0].rect_pixels
+    for fragment in shapes[0].fragments:
+        r, c = fragment.control_point
+        assert row0 <= r <= row1 - 1 or fragment.side in ("left", "right")
+        if fragment.side == "left":
+            assert c == col0
+        if fragment.side == "right":
+            assert c == col1 - 1
+
+
+def test_build_mask_zero_offsets_matches_rasterization():
+    from repro.layout import rasterize
+
+    layout = simple_layout()
+    shapes = fragment_layout(layout, pixel_size=4.0)
+    mask = build_mask(shapes, image_size=128)
+    np.testing.assert_allclose(mask, rasterize(layout, pixel_size=4.0, image_size=128))
+
+
+def test_build_mask_positive_offset_grows_shape():
+    layout = simple_layout()
+    shapes = fragment_layout(layout, pixel_size=4.0)
+    base = build_mask(shapes, 128).sum()
+    for fragment in shapes[0].fragments:
+        fragment.offset = 2.0
+    grown = build_mask(shapes, 128).sum()
+    assert grown > base
+
+
+def test_build_mask_negative_offset_shrinks_shape():
+    layout = simple_layout()
+    shapes = fragment_layout(layout, pixel_size=4.0)
+    base = build_mask(shapes, 128).sum()
+    for fragment in shapes[0].fragments:
+        fragment.offset = -2.0
+    shrunk = build_mask(shapes, 128).sum()
+    assert shrunk < base
+
+
+def test_build_mask_adds_extra_rects():
+    shapes = fragment_layout(simple_layout(), pixel_size=4.0)
+    mask = build_mask(shapes, 128, extra_rects=[(0, 0, 4, 4)])
+    assert mask[:4, :4].sum() == 16
+
+
+def test_outward_normals_point_away_from_interior():
+    shapes = fragment_layout(simple_layout(), pixel_size=4.0)
+    row0, col0, row1, col1 = shapes[0].rect_pixels
+    centre = ((row0 + row1) / 2, (col0 + col1) / 2)
+    for fragment in shapes[0].fragments:
+        r, c = fragment.control_point
+        dr, dc = fragment.outward_normal
+        # Moving along the normal must increase the distance from the centre.
+        before = (r - centre[0]) ** 2 + (c - centre[1]) ** 2
+        after = (r + dr - centre[0]) ** 2 + (c + dc - centre[1]) ** 2
+        assert after > before
+
+
+# --------------------------------------------------------------------- #
+# SRAF insertion
+# --------------------------------------------------------------------- #
+def test_srafs_surround_isolated_feature():
+    layout = Layout(bounds=Rect(0, 0, 1000, 1000), shapes=[Rect(450, 450, 550, 550)])
+    srafs = insert_srafs(layout)
+    assert len(srafs) == 4
+
+
+def test_srafs_do_not_touch_main_features():
+    layout = Layout(bounds=Rect(0, 0, 1000, 1000), shapes=[Rect(450, 450, 550, 550)])
+    for sraf in insert_srafs(layout, min_clearance=40.0):
+        grown = sraf.expanded(39.9)
+        assert not any(grown.intersects(shape) for shape in layout.shapes)
+
+
+def test_srafs_skipped_when_no_room():
+    layout = Layout(bounds=Rect(0, 0, 200, 200), shapes=[Rect(50, 50, 150, 150)])
+    srafs = insert_srafs(layout, sraf_distance=90.0)
+    # The bars would leave the layout bounds on every side.
+    assert srafs == []
+
+
+def test_srafs_do_not_overlap_each_other():
+    layout = Layout(
+        bounds=Rect(0, 0, 1200, 1200),
+        shapes=[Rect(300, 300, 400, 400), Rect(700, 300, 800, 400)],
+    )
+    srafs = insert_srafs(layout)
+    for i, a in enumerate(srafs):
+        for b in srafs[i + 1 :]:
+            assert not a.intersects(b)
+
+
+def test_sraf_rects_pixels_rounding():
+    boxes = sraf_rects_pixels([Rect(10, 20, 34, 28)], pixel_size=8.0)
+    assert boxes == [(2, 1, 4, 4)]
+    # Degenerate-thin SRAFs still occupy at least one pixel row/column.
+    thin = sraf_rects_pixels([Rect(10, 10, 12, 50)], pixel_size=8.0)
+    assert thin[0][3] - thin[0][1] >= 1
