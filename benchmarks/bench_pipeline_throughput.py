@@ -1,0 +1,91 @@
+"""Benchmark P1 — batch-first inference pipeline throughput.
+
+Guards the headline of the batch-first refactor: the frequency-domain
+:func:`repro.litho.aerial_image` (one padded mask FFT reused across all
+cached SOCS transfer functions) must beat the seed per-kernel
+``fftconvolve`` loop by >= 2x on the Figure 6 tile size with 12 kernels,
+while staying numerically equivalent within 1e-8.  Also records
+:class:`repro.pipeline.InferencePipeline` model throughput at ``batch_size``
+1 vs the profile batch size, so the batching win stays visible in the
+BENCH_*.json trajectories.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import create_model
+from repro.evaluation import measure_pipeline_throughput
+from repro.litho import LithoSimulator, aerial_image, aerial_image_loop
+from repro.utils import format_table
+
+from conftest import record_report
+
+
+def _best_of(run, repeats: int = 5) -> float:
+    """Minimum wall time over ``repeats`` runs (robust to scheduler noise)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_pipeline_throughput(benchmark, harness):
+    profile = harness.profile
+    size = profile.low_res_size
+    rng = np.random.default_rng(7)
+    masks = (rng.random((8, size, size)) > 0.7).astype(float)
+
+    simulator = LithoSimulator(pixel_size=profile.low_res_pixel, num_kernels=12)
+    kernels = simulator.kernels
+
+    # Numerical equivalence first (also warms the transfer-function cache).
+    reference = np.stack([aerial_image_loop(m, kernels) for m in masks])
+    np.testing.assert_allclose(aerial_image(masks, kernels), reference, atol=1e-8)
+
+    loop_per_mask = _best_of(lambda: [aerial_image_loop(m, kernels) for m in masks]) / len(masks)
+    batched_per_mask = _best_of(lambda: aerial_image(masks, kernels)) / len(masks)
+    speedup = loop_per_mask / batched_per_mask
+
+    # Model pipeline: the batch_size knob on the same DOINN tile workload.
+    model = create_model("doinn", image_size=size)
+    pipeline = harness.model_pipeline(model)
+    single = measure_pipeline_throughput(
+        pipeline, masks[0], profile.low_res_pixel, repeats=2, batch_size=1
+    )
+    batched = measure_pipeline_throughput(
+        pipeline, masks[0], profile.low_res_pixel, repeats=2, batch_size=profile.batch_size
+    )
+
+    record_report(
+        "Pipeline throughput",
+        format_table(
+            ["Path", "ms / tile", "Speedup / note"],
+            [
+                ["Hopkins per-kernel loop (seed)", f"{loop_per_mask * 1e3:.2f}", "baseline"],
+                ["Hopkins batched FFT", f"{batched_per_mask * 1e3:.2f}", f"{speedup:.2f}x"],
+                [
+                    "DOINN pipeline (bs=1)",
+                    f"{single.seconds_per_tile * 1e3:.2f}",
+                    f"{single.um2_per_second:.1f} um^2/s",
+                ],
+                [
+                    f"DOINN pipeline (bs={profile.batch_size})",
+                    f"{batched.seconds_per_tile * 1e3:.2f}",
+                    f"{batched.um2_per_second:.1f} um^2/s",
+                ],
+            ],
+            title=f"Pipeline throughput ({size}x{size} tiles, 12 SOCS kernels)",
+        ),
+    )
+
+    assert speedup >= 2.0, (
+        f"batched aerial path must be >=2x the per-kernel loop, got {speedup:.2f}x"
+    )
+
+    # Timed kernel: the batched aerial path on the full mask stream.
+    benchmark(lambda: aerial_image(masks, kernels))

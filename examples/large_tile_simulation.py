@@ -3,19 +3,20 @@
 Trains a DOINN on 1 um^2 tiles, then simulates tiles four times that area in
 two ways: by feeding the whole tile through the network (quality degrades,
 Table 4 row "DOINN") and with the half-overlapping large-tile scheme
-(quality restored, row "DOINN-LT").
+(quality restored, row "DOINN-LT").  Both paths route through the batch-first
+:class:`repro.pipeline.InferencePipeline`, which plans the tiling, batches the
+tile forwards across the whole large-tile set, and stitches the cores back.
 
 Run with:  python examples/large_tile_simulation.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import DOINN, DOINNConfig, LargeTileSimulator
+from repro.core import DOINN, DOINNConfig
 from repro.data import BenchmarkConfig, build_benchmark, build_large_tile_benchmark
 from repro.evaluation import evaluate_predictions
 from repro.litho import LithoSimulator
+from repro.pipeline import InferencePipeline
 from repro.training import Trainer, TrainingConfig
 from repro.utils import format_table, seed_everything
 
@@ -36,16 +37,21 @@ def main() -> None:
     print("Building dense large tiles (4x the training area) ...")
     large = build_large_tile_benchmark(config, simulator, num_tiles=3, scale=2)
 
-    runner = LargeTileSimulator(
+    pipeline = InferencePipeline(
         model,
-        train_tile_size=config.image_size,
+        tile_size=config.image_size,
+        batch_size=8,
         optical_diameter_pixels=simulator.optical_diameter_pixels,
     )
-    naive = np.stack([runner.predict_naive(m[0]) for m in large.masks])[:, None]
-    stitched = np.stack([runner.predict(m[0]) for m in large.masks])[:, None]
+    naive = pipeline.predict_naive(large.masks)
+    result = pipeline.run(large.masks, stitch=True)
+    print(
+        f"  stitched plan: {result.stats.num_tiles} GP tiles in "
+        f"{result.stats.num_batches} batches, {result.stats.seconds:.2f} s"
+    )
 
     naive_score = evaluate_predictions(naive, large.resists)
-    lt_score = evaluate_predictions(stitched, large.resists)
+    lt_score = evaluate_predictions(result.outputs, large.resists)
     print(
         format_table(
             ["Pipeline", "mPA (%)", "mIOU (%)"],

@@ -18,6 +18,7 @@ from repro.core import DOINN, DOINNConfig
 from repro.data import BenchmarkConfig, build_benchmark
 from repro.evaluation import evaluate_model
 from repro.litho import LithoSimulator
+from repro.pipeline import InferencePipeline
 from repro.training import Trainer, TrainingConfig
 from repro.utils import seed_everything, to_ascii
 
@@ -44,13 +45,15 @@ def main() -> None:
     history = trainer.fit(data.train)
     print("Per-epoch training loss:", [round(loss, 4) for loss in history.epoch_losses])
 
-    # 4. Evaluate and visualize.
-    score = evaluate_model(model, data.test)
+    # 4. Evaluate and visualize through the batch-first inference pipeline
+    #    (the execution path production serving uses).
+    pipeline = InferencePipeline(model, batch_size=8)
+    score = evaluate_model(pipeline, data.test)
     mpa, miou = score.as_row()
     print(f"Held-out accuracy: mPA = {mpa:.2f}%  mIOU = {miou:.2f}%")
 
     mask = data.test.masks[0]
-    prediction = model.predict(mask[None])[0, 0]
+    prediction = pipeline.predict(mask[None])[0, 0]
     golden = data.test.resists[0, 0]
     print("\nMask (OPC'ed, with SRAFs):")
     print(to_ascii(mask[0], width=48))

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 tests plus the pipeline throughput micro-benchmark on
+# small sizes.  Run before merging any change to an inference hot path so
+# perf regressions show up here (and in the BENCH_*.json trajectories)
+# instead of in production throughput.
+#
+# Usage:  scripts/smoke.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export REPRO_PROFILE="${REPRO_PROFILE:-quick}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests "$@"
+
+echo "== pipeline throughput bench (quick profile) =="
+python -m pytest -x -q benchmarks/bench_pipeline_throughput.py "$@"

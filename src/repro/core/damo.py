@@ -79,9 +79,7 @@ class DAMODLS(nn.Module):
     def predict(self, masks: np.ndarray, batch_size: int = 4) -> np.ndarray:
         """Inference helper mirroring :meth:`repro.core.doinn.DOINN.predict`."""
         outputs = []
-        self.eval()
-        with nn.no_grad():
+        with nn.eval_mode(self), nn.no_grad():
             for start in range(0, masks.shape[0], batch_size):
                 outputs.append(self.forward(Tensor(masks[start : start + batch_size])).numpy())
-        self.train()
         return np.concatenate(outputs, axis=0)

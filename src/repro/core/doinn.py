@@ -135,14 +135,16 @@ class DOINN(nn.Module):
         return self.reconstruction(gp, lp)
 
     def predict(self, masks: np.ndarray, batch_size: int = 8) -> np.ndarray:
-        """Inference helper: numpy masks ``(N, 1, H, W)`` -> resist predictions."""
+        """Inference helper: numpy masks ``(N, 1, H, W)`` -> resist predictions.
+
+        Runs under :func:`repro.nn.eval_mode`, restoring the prior train/eval
+        state afterwards.
+        """
         outputs = []
-        self.eval()
-        with nn.no_grad():
+        with nn.eval_mode(self), nn.no_grad():
             for start in range(0, masks.shape[0], batch_size):
                 batch = Tensor(masks[start : start + batch_size])
                 outputs.append(self.forward(batch).numpy())
-        self.train()
         return np.concatenate(outputs, axis=0)
 
     # ------------------------------------------------------------------ #

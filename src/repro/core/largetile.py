@@ -2,24 +2,28 @@
 
 A DOINN trained on ``H x W`` tiles degrades when applied directly to an
 ``sH x sW`` mask because the Fourier-unit weights were trained for the
-spectrum of the smaller tile.  The scheme implemented here restores full
-quality:
+spectrum of the smaller tile.  :class:`LargeTileSimulator` restores full
+quality via the half-overlapping tile / core-stitching scheme.
 
-1. cut the large mask into half-overlapping tiles of the training size,
-2. run only the **global perception** path on those tiles (in batches),
-3. stitch the *core* regions of the GP feature maps back to the large size
-   (everything within half an optical diameter of a tile boundary is
-   discarded, exactly as eq. (13)-(14) prescribe),
-4. run the local perception and image reconstruction paths on the full large
-   mask — convolutions are translation invariant, so nothing else changes.
+Since the batch-first refactor this class is a thin compatibility wrapper
+over :class:`repro.pipeline.InferencePipeline`, which owns the tiling plan,
+the batched global-perception execution and the core stitching.  New code
+should use the pipeline directly (it also accepts mask batches and exposes
+execution stats); this wrapper keeps the original single-mask API:
+
+* :meth:`predict` — the large-tile scheme (pipeline ``stitch`` plan),
+* :meth:`predict_naive` — the whole mask straight through the DOINN
+  (paper Table 4, "DOINN" row; pipeline native plan).
+
+Inference runs under :func:`repro.nn.eval_mode`, so the model's train/eval
+state is restored afterwards instead of being clobbered to training mode.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..layout.tiling import extract_tiles, stitch_cores
-from ..nn import Tensor, no_grad
+from ..pipeline import InferencePipeline
 from .doinn import DOINN
 
 __all__ = ["LargeTileSimulator"]
@@ -28,66 +32,41 @@ __all__ = ["LargeTileSimulator"]
 class LargeTileSimulator:
     """Apply a trained DOINN to masks larger than its training tile size."""
 
-    def __init__(self, model: DOINN, train_tile_size: int, optical_diameter_pixels: int = 16) -> None:
+    def __init__(
+        self,
+        model: DOINN,
+        train_tile_size: int,
+        optical_diameter_pixels: int = 16,
+        batch_size: int = 8,
+    ) -> None:
         if train_tile_size % model.config.pool_factor:
             raise ValueError("train_tile_size must be divisible by the GP pooling factor")
         self.model = model
         self.train_tile_size = train_tile_size
         self.optical_diameter_pixels = optical_diameter_pixels
+        self.pipeline = InferencePipeline(
+            model,
+            tile_size=train_tile_size,
+            batch_size=batch_size,
+            optical_diameter_pixels=optical_diameter_pixels,
+        )
 
     # ------------------------------------------------------------------ #
     def _gp_features_tiled(self, mask: np.ndarray) -> np.ndarray:
         """Large-tile global perception (paper eq. (13)): tile, run GP, stitch cores."""
-        tile = self.train_tile_size
-        pool = self.model.config.pool_factor
-        tiles, specs = extract_tiles(mask, tile)
-
-        gp_outputs = []
-        with no_grad():
-            for start in range(0, tiles.shape[0], 8):
-                batch = Tensor(tiles[start : start + 8][:, None])
-                gp_outputs.append(self.model.global_perception(batch).numpy())
-        gp_tiles = np.concatenate(gp_outputs, axis=0)            # (n, C, tile/8, tile/8)
-
-        # Re-express tile positions at the pooled (1/8) resolution.
-        pooled_specs = [
-            type(spec)(row=spec.row, col=spec.col, y0=spec.y0 // pool, x0=spec.x0 // pool, size=tile // pool)
-            for spec in specs
-        ]
-        margin = max(1, int(np.ceil(self.optical_diameter_pixels / (2 * pool))))
-        h, w = mask.shape
-        return stitch_cores(gp_tiles, pooled_specs, (h // pool, w // pool), margin)
+        return self.pipeline.gp_features(mask)
 
     # ------------------------------------------------------------------ #
     def predict(self, mask: np.ndarray) -> np.ndarray:
         """Predict the resist image of a large mask with core stitching."""
+        mask = np.asarray(mask)
         if mask.ndim != 2:
             raise ValueError("predict expects a single 2-D mask image")
-        h, w = mask.shape
-        if h % self.train_tile_size or w % self.train_tile_size:
-            raise ValueError(
-                f"mask size {(h, w)} must be a multiple of the training tile size "
-                f"{self.train_tile_size}"
-            )
-        self.model.eval()
-        gp = self._gp_features_tiled(mask)
-        with no_grad():
-            x = Tensor(mask[None, None])
-            lp = (
-                self.model.local_perception(x)
-                if self.model.local_perception is not None
-                else None
-            )
-            out = self.model.reconstruction(Tensor(gp[None]), lp)
-        self.model.train()
-        return out.numpy()[0, 0]
+        return self.pipeline.predict(mask, stitch=True)
 
     def predict_naive(self, mask: np.ndarray) -> np.ndarray:
         """Feed the large mask straight through the DOINN (paper Table 4, "DOINN" row)."""
+        mask = np.asarray(mask)
         if mask.ndim != 2:
             raise ValueError("predict_naive expects a single 2-D mask image")
-        self.model.eval()
-        with no_grad():
-            out = self.model(Tensor(mask[None, None]))
-        self.model.train()
-        return out.numpy()[0, 0]
+        return self.pipeline.predict(mask, stitch=False)

@@ -1,7 +1,12 @@
 """Evaluation utilities: accuracy scoring and throughput measurement."""
 
 from .evaluator import EvaluationResult, evaluate_model, evaluate_predictions
-from .runtime import ThroughputResult, measure_model_throughput, measure_simulator_throughput
+from .runtime import (
+    ThroughputResult,
+    measure_model_throughput,
+    measure_pipeline_throughput,
+    measure_simulator_throughput,
+)
 
 __all__ = [
     "EvaluationResult",
@@ -9,5 +14,6 @@ __all__ = [
     "evaluate_predictions",
     "ThroughputResult",
     "measure_model_throughput",
+    "measure_pipeline_throughput",
     "measure_simulator_throughput",
 ]

@@ -61,8 +61,10 @@ def evaluate_model(
 ) -> EvaluationResult:
     """Run a model over a dataset and score its predictions.
 
-    ``model`` must expose ``predict(masks, batch_size) -> np.ndarray`` (all
-    models in :mod:`repro.core` do).
+    ``model`` may be anything exposing ``predict(masks, batch_size)`` — a
+    learned model from :mod:`repro.core` or a
+    :class:`repro.pipeline.InferencePipeline` (the batch-first path, which
+    also handles oversized masks via tiling + core stitching).
     """
     predictions = model.predict(data.masks, batch_size=batch_size)
     return evaluate_predictions(predictions, data.resists, threshold=threshold)

@@ -46,7 +46,7 @@ def run_table2(
                 row["damo-dls"] = None
                 continue
             model, history = harness.trained_model(model_name, benchmark, resolution)
-            score = evaluate_model(model, data.test)
+            score = evaluate_model(harness.model_pipeline(model), data.test)
             mpa, miou = score.as_row()
             row[model_name] = {
                 "mpa": mpa,

@@ -39,7 +39,7 @@ def run_table3(harness: Harness | None = None, benchmark: str = "iccad2013") -> 
         model = DOINN(base.ablation(row_id))
         trainer = Trainer(model, config)
         history = trainer.fit(data.train)
-        score = evaluate_model(model, data.test)
+        score = evaluate_model(harness.model_pipeline(model), data.test)
         mpa, miou = score.as_row()
         rows.append(
             {

@@ -13,7 +13,6 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.largetile import LargeTileSimulator
 from ..data.benchmarks import build_large_tile_benchmark
 from ..evaluation.evaluator import evaluate_predictions
 from ..utils.tables import format_table
@@ -41,15 +40,16 @@ def run_table4(
         scale=profile.large_tile_scale,
     )
 
-    tile_size = config.image_size
-    runner = LargeTileSimulator(
+    # One batch-first pipeline serves both rows: the naive whole-tile forward
+    # ("DOINN") and the §3.2 tiling + core-stitching plan ("DOINN-LT"), with
+    # tile forwards batched across the whole large-tile set.
+    pipeline = harness.model_pipeline(
         model,
-        train_tile_size=tile_size,
+        tile_size=config.image_size,
         optical_diameter_pixels=simulator.optical_diameter_pixels,
     )
-
-    naive_predictions = np.stack([runner.predict_naive(mask[0]) for mask in large.masks])[:, None]
-    lt_predictions = np.stack([runner.predict(mask[0]) for mask in large.masks])[:, None]
+    naive_predictions = pipeline.predict_naive(large.masks)
+    lt_predictions = pipeline.predict(large.masks, stitch=True)
 
     naive_score = evaluate_predictions(naive_predictions, large.resists)
     lt_score = evaluate_predictions(lt_predictions, large.resists)

@@ -13,9 +13,10 @@ kernels sampled at the mask pixel size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.fft
 
 from .optics import OpticalSettings, pupil_function, source_points
 
@@ -37,12 +38,21 @@ class SOCSKernels:
         Sampling pitch of the kernels in nm.
     settings:
         The optical settings the kernels were derived from.
+
+    The stack also memoizes derived quantities that are expensive to rebuild on
+    every simulation call: the frequency-domain *transfer functions* of the
+    kernels at a given padded FFT shape (used by the batched aerial-image path
+    in :mod:`repro.litho.hopkins`) and the clear-field intensity used for dose
+    normalization.  The cache is keyed by FFT shape, so simulating many masks
+    of the same size — the common case in the inference pipeline — pays the
+    kernel FFTs exactly once.
     """
 
     kernels: np.ndarray
     eigenvalues: np.ndarray
     pixel_size: float
     settings: OpticalSettings
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def count(self) -> int:
@@ -62,6 +72,40 @@ class SOCSKernels:
             pixel_size=self.pixel_size,
             settings=self.settings,
         )
+
+    # -- memoized derived quantities ----------------------------------- #
+    def weighted_transfer_functions(self, fft_shape: tuple[int, int]) -> np.ndarray:
+        """Frequency-domain kernels ``fft2(h_k)`` zero-padded to ``fft_shape``
+        and pre-scaled by ``sqrt(alpha_k)``.
+
+        These are the SOCS transfer functions reused across every mask in a
+        batch by :func:`repro.litho.hopkins.aerial_image`: the mask is FFT'd
+        once and multiplied against this stack instead of running one
+        ``fftconvolve`` per kernel.  With the eigenvalue folded into the
+        transfer function the SOCS sum reduces to a plain
+        ``sum_k |field_k|^2`` — the aerial-image hot loop skips the
+        per-kernel eigenvalue weighting entirely.  Kernels with non-positive
+        eigenvalues contribute nothing and are dropped here, so the returned
+        stack may be shorter than :attr:`count`.
+        """
+        key = ("wtf", int(fft_shape[0]), int(fft_shape[1]))
+        if key not in self._cache:
+            active = np.flatnonzero(self.eigenvalues > 0.0)
+            weighted = scipy.fft.fft2(self.kernels[active], s=tuple(fft_shape), axes=(-2, -1))
+            weighted *= np.sqrt(self.eigenvalues[active])[:, None, None]
+            self._cache[key] = weighted
+        return self._cache[key]
+
+    def clear_field_intensity(self) -> float:
+        """Aerial intensity of a fully transparent mask (memoized).
+
+        Used to normalize aerial images so resist thresholds can be expressed
+        as a fraction of the open-frame dose.
+        """
+        if "clear" not in self._cache:
+            responses = self.kernels.sum(axis=(1, 2))
+            self._cache["clear"] = float(np.sum(self.eigenvalues * np.abs(responses) ** 2))
+        return self._cache["clear"]
 
 
 def _frequency_grid(settings: OpticalSettings, grid_size: int) -> tuple[np.ndarray, np.ndarray, float]:

@@ -105,7 +105,12 @@ class LithoSimulator:
         return self.simulate(mask).resist
 
     def aerial(self, mask: np.ndarray) -> np.ndarray:
-        """Shortcut returning only the normalized aerial image."""
+        """Normalized aerial image of one mask ``(H, W)`` or a batch ``(N, H, W)``.
+
+        Batches run in one FFT pass per mask against the cached SOCS transfer
+        functions (the inference-pipeline hot path; see
+        :mod:`repro.litho.hopkins`).
+        """
         return aerial_image(mask, self.kernels, normalize=True, dose=self.dose)
 
     def with_dose(self, dose: float) -> "LithoSimulator":

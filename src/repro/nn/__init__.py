@@ -13,6 +13,7 @@ from .layers import (
     Conv2d,
     ConvTranspose2d,
     FNOFourierLayer,
+    eval_mode,
     Identity,
     LeakyReLU,
     MaxPool2d,
@@ -37,6 +38,7 @@ __all__ = [
     "no_grad",
     "Module",
     "Parameter",
+    "eval_mode",
     "Sequential",
     "Identity",
     "Conv2d",

@@ -8,6 +8,7 @@ tables in the paper's appendix (Tables 5-7).
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Iterator
 
 import numpy as np
@@ -20,6 +21,7 @@ from .tensor import Tensor
 __all__ = [
     "Module",
     "Parameter",
+    "eval_mode",
     "Sequential",
     "Identity",
     "Conv2d",
@@ -142,6 +144,25 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+
+@contextmanager
+def eval_mode(module: Module):
+    """Temporarily switch a module to evaluation mode.
+
+    Unlike a bare ``module.eval()`` / ``module.train()`` pair, this restores
+    each submodule's *prior* ``training`` flag on exit (even on exceptions),
+    so inference helpers never clobber the caller's train/eval state — e.g. a
+    model evaluated mid-training stays in training mode afterwards, and an
+    already-eval'd production model is not flipped back to training.
+    """
+    prior = [(child, child.training) for child in module.modules()]
+    module.eval()
+    try:
+        yield module
+    finally:
+        for child, training in prior:
+            child.training = training
 
 
 class Sequential(Module):

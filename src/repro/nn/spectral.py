@@ -21,6 +21,8 @@ differences in ``tests/nn/test_spectral.py``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .tensor import Tensor
@@ -34,12 +36,15 @@ __all__ = [
 ]
 
 
-def truncation_indices(height: int, width: int, modes: int) -> tuple[np.ndarray, np.ndarray]:
-    """Row/column indices of the ``modes`` lowest frequencies kept by truncation.
+@lru_cache(maxsize=None)
+def _truncation_mesh(height: int, width: int, modes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized broadcastable index mesh of the retained low-frequency block.
 
-    Following the FNO convention, the lowest ``modes`` non-negative and
-    ``modes`` negative frequencies are kept along each axis, giving a
-    ``(2 * modes) x (2 * modes)`` retained block.
+    Every Fourier-unit forward *and* backward gathers/scatters the same
+    ``(2*modes) x (2*modes)`` block for a given spectrum size, so the index
+    arrays are built once per ``(H, W, modes)`` and reused across all calls
+    (the repeated-inference hot path of the pipeline).  The cached arrays are
+    marked read-only so no caller can corrupt the shared copy.
     """
     if 2 * modes > height or 2 * modes > width:
         raise ValueError(
@@ -48,18 +53,31 @@ def truncation_indices(height: int, width: int, modes: int) -> tuple[np.ndarray,
         )
     rows = np.concatenate([np.arange(0, modes), np.arange(height - modes, height)])
     cols = np.concatenate([np.arange(0, modes), np.arange(width - modes, width)])
+    rows.setflags(write=False)
+    cols.setflags(write=False)
     return rows, cols
+
+
+def truncation_indices(height: int, width: int, modes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row/column indices of the ``modes`` lowest frequencies kept by truncation.
+
+    Following the FNO convention, the lowest ``modes`` non-negative and
+    ``modes`` negative frequencies are kept along each axis, giving a
+    ``(2 * modes) x (2 * modes)`` retained block.  Results are cached per
+    ``(height, width, modes)`` and returned read-only.
+    """
+    return _truncation_mesh(height, width, modes)
 
 
 def truncate_spectrum(spectrum: np.ndarray, modes: int) -> np.ndarray:
     """Keep only the lowest-frequency block of a full 2-D spectrum."""
-    rows, cols = truncation_indices(spectrum.shape[-2], spectrum.shape[-1], modes)
+    rows, cols = _truncation_mesh(spectrum.shape[-2], spectrum.shape[-1], modes)
     return spectrum[..., rows[:, None], cols[None, :]]
 
 
 def scatter_spectrum(block: np.ndarray, height: int, width: int, modes: int) -> np.ndarray:
     """Adjoint of :func:`truncate_spectrum`: embed a block into a zero spectrum."""
-    rows, cols = truncation_indices(height, width, modes)
+    rows, cols = _truncation_mesh(height, width, modes)
     full_shape = block.shape[:-2] + (height, width)
     full = np.zeros(full_shape, dtype=block.dtype)
     full[..., rows[:, None], cols[None, :]] = block

@@ -15,6 +15,7 @@ import numpy as np
 from ..layout.geometry import Layout
 from ..layout.rasterize import rasterize
 from ..litho.simulator import LithoSimulator
+from ..pipeline import InferencePipeline
 from .epe import EPEStatistics, measure_fragment_epe, measure_layout_epe
 from .fragments import FragmentedShape, build_mask, fragment_layout
 from .sraf import insert_srafs, sraf_rects_pixels
@@ -71,11 +72,21 @@ def rule_based_retarget(layout: Layout, bias: float = 20.0) -> Layout:
 
 
 class OPCEngine:
-    """Edge-based OPC driven by the golden lithography simulator."""
+    """Edge-based OPC driven by the golden lithography simulator.
+
+    Simulation runs through the batch-first
+    :class:`~repro.pipeline.InferencePipeline` — the same execution path every
+    other inference consumer uses (the batched single-FFT aerial path with
+    cached SOCS transfer functions lives in :mod:`repro.litho.hopkins` and is
+    shared by all callers).  Routing the iterate-simulate-measure loop through
+    the pipeline keeps one uniform engine interface and opens the door to
+    batching multiple mask candidates per OPC iteration.
+    """
 
     def __init__(self, simulator: LithoSimulator, config: OPCConfig | None = None) -> None:
         self.simulator = simulator
         self.config = config or OPCConfig()
+        self.pipeline = InferencePipeline(simulator)
 
     # ------------------------------------------------------------------ #
     def correct(self, layout: Layout) -> OPCResult:
@@ -97,7 +108,7 @@ class OPCEngine:
         result = OPCResult(final_mask=target.copy(), target=target)
         for _ in range(config.iterations):
             mask = build_mask(shapes, image_size, extra_rects=sraf_boxes)
-            resist = self.simulator.resist_image(mask)
+            resist = self.pipeline.predict(mask)
             stats = measure_layout_epe(resist, shapes, pixel_size, config.epe_search_range)
             if config.record_history:
                 result.mask_history.append(mask)

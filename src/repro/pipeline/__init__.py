@@ -1,0 +1,18 @@
+"""Batch-first inference pipeline (tiling -> batched execution -> stitching).
+
+The single high-throughput engine every inference consumer routes through;
+see :mod:`repro.pipeline.engine` for the architecture overview.
+"""
+
+from .engine import InferencePipeline, PipelineResult, PipelineStats
+from .executors import Executor, ModelExecutor, SimulatorExecutor, as_executor
+
+__all__ = [
+    "InferencePipeline",
+    "PipelineResult",
+    "PipelineStats",
+    "Executor",
+    "ModelExecutor",
+    "SimulatorExecutor",
+    "as_executor",
+]

@@ -1,0 +1,296 @@
+"""Batch-first inference pipeline: tile -> batch -> stitch.
+
+:class:`InferencePipeline` is the single high-throughput execution engine
+every inference consumer (evaluation, OPC, experiments, examples) routes
+through.  Given masks of arbitrary size — one image, a batch, or full-chip
+tiles larger than the engine's native tile — it
+
+1. **plans** the work: masks at (or below) the native tile size run directly;
+   oversized masks are cut into half-overlapping training-size tiles via
+   :mod:`repro.layout.tiling` (paper §3.2, eq. (12)-(14)),
+2. **batches** the model/simulator forwards with a configurable
+   ``batch_size`` knob, and
+3. **stitches** the core regions of the per-tile global-perception features
+   back to full size before running the translation-invariant local
+   perception and reconstruction paths on the whole mask.
+
+The stitched plan reproduces the seed ``LargeTileSimulator`` algorithm
+bit-for-bit for a single mask (same tile order, same GP batch partitioning,
+same core margin), while batching tile forwards and full-mask reconstructions
+across the whole input stream.  Simulator engines are size-agnostic (Hopkins
+convolution) and run the batched single-FFT aerial path with cached SOCS
+transfer functions.
+
+Every run returns a :class:`PipelineResult` carrying the predictions plus
+:class:`PipelineStats` (tiles, batches, wall time) so throughput benches and
+regression trackers can observe the execution plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..layout.tiling import TileSpec, extract_tiles, stitch_cores
+from .executors import Executor, as_executor
+
+__all__ = ["InferencePipeline", "PipelineResult", "PipelineStats"]
+
+
+@dataclass
+class PipelineStats:
+    """Observable execution plan of one pipeline run."""
+
+    engine: str = ""
+    mode: str = "native"          # "native" | "stitched"
+    num_masks: int = 0
+    num_tiles: int = 0            # GP tiles executed (stitched mode only)
+    num_batches: int = 0          # executor invocations
+    seconds: float = 0.0
+
+    @property
+    def masks_per_second(self) -> float:
+        return self.num_masks / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class PipelineResult:
+    """Predictions plus the stats of the run that produced them."""
+
+    outputs: np.ndarray           # always (N, 1, H, W)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+
+class InferencePipeline:
+    """Unified batched inference over models and litho simulators.
+
+    Parameters
+    ----------
+    engine:
+        A learned model (:class:`repro.nn.Module`), a golden
+        :class:`~repro.litho.simulator.LithoSimulator`, or a prebuilt
+        :class:`~repro.pipeline.executors.Executor`.
+    tile_size:
+        Native (training) tile size of the engine.  Masks larger than this
+        trigger the §3.2 large-tile plan when the engine supports it; ``None``
+        disables tiling entirely.
+    batch_size:
+        Default number of tiles / masks per executor invocation.
+    optical_diameter_pixels:
+        Optical ambit used to size the stitching core margin (``d`` in the
+        paper; only the region further than ``d/2`` from a tile edge is
+        trusted).
+    """
+
+    def __init__(
+        self,
+        engine,
+        tile_size: int | None = None,
+        batch_size: int = 8,
+        optical_diameter_pixels: int = 16,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.executor: Executor = as_executor(engine)
+        self.tile_size = tile_size
+        self.batch_size = batch_size
+        self.optical_diameter_pixels = optical_diameter_pixels
+        if tile_size is not None and self.executor.supports_stitching:
+            pool = self.executor.pool_factor
+            if tile_size % pool:
+                raise ValueError(
+                    f"tile_size {tile_size} must be divisible by the GP pooling factor {pool}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.executor.name
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        masks: np.ndarray,
+        batch_size: int | None = None,
+        stitch: bool | None = None,
+    ) -> PipelineResult:
+        """Run the engine over ``masks`` and return predictions + stats.
+
+        ``masks`` may be a single 2-D image ``(H, W)``, a 3-D batch
+        ``(N, H, W)`` or a 4-D batch ``(N, 1, H, W)``; ``outputs`` is always
+        ``(N, 1, H, W)`` (use :meth:`predict` to mirror the input layout).
+        ``stitch=False`` forces the naive whole-image path regardless of size
+        (the Table 4 "DOINN" row); ``None`` lets the planner decide.
+        """
+        batch4, _ = self._normalize(masks)
+        batch_size = batch_size or self.batch_size
+        stats = PipelineStats(engine=self.name, num_masks=batch4.shape[0])
+        if batch4.shape[0] == 0:
+            return PipelineResult(outputs=batch4.copy(), stats=stats)
+        start = time.perf_counter()
+        if self._plan_stitched(batch4, stitch):
+            stats.mode = "stitched"
+            outputs = self._run_stitched(batch4, batch_size, stats)
+        else:
+            outputs = self._run_native(batch4, batch_size, stats)
+        stats.seconds = time.perf_counter() - start
+        return PipelineResult(outputs=outputs, stats=stats)
+
+    def predict(
+        self,
+        masks: np.ndarray,
+        batch_size: int | None = None,
+        stitch: bool | None = None,
+    ) -> np.ndarray:
+        """Predictions with the same array layout as the input masks."""
+        batch4, restore = self._normalize(masks)
+        outputs = self.run(batch4, batch_size=batch_size, stitch=stitch).outputs
+        return restore(outputs)
+
+    def predict_naive(self, masks: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Whole-image predictions with tiling disabled (Table 4 "DOINN" row)."""
+        return self.predict(masks, batch_size=batch_size, stitch=False)
+
+    def gp_features(self, mask: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Stitched global-perception feature map of one 2-D mask (eq. (13)).
+
+        Exposed for the large-tile scheme's invariant tests: every core-region
+        entry is computed from a training-size window, so the Fourier-unit
+        weights only ever see the spectrum they were trained on.
+        """
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.ndim != 2:
+            raise ValueError("gp_features expects a single 2-D mask image")
+        self._require_stitchable()
+        self._validate_tiled_size(mask.shape)
+        return self._gp_features_one(mask, batch_size or self.batch_size, PipelineStats())
+
+    # ------------------------------------------------------------------ #
+    # Planning helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize(masks: np.ndarray):
+        """Coerce input to ``(N, 1, H, W)`` plus a layout-restoring closure."""
+        masks = np.asarray(masks, dtype=np.float64)
+        if masks.ndim == 2:
+            return masks[None, None], lambda out: out[0, 0]
+        if masks.ndim == 3:
+            return masks[:, None], lambda out: out[:, 0]
+        if masks.ndim == 4:
+            if masks.shape[1] != 1:
+                raise ValueError(f"expected a single mask channel, got shape {masks.shape}")
+            return masks, lambda out: out
+        raise ValueError(f"masks must be 2-D, 3-D or 4-D, got shape {masks.shape}")
+
+    def _plan_stitched(self, batch4: np.ndarray, stitch: bool | None) -> bool:
+        if stitch is False:
+            return False
+        h, w = batch4.shape[-2:]
+        oversized = (
+            self.tile_size is not None
+            and not self.executor.arbitrary_size
+            and max(h, w) > self.tile_size
+        )
+        if stitch is True:
+            self._require_stitchable()
+            return True
+        return oversized and self.executor.supports_stitching
+
+    def _require_stitchable(self) -> None:
+        if self.tile_size is None:
+            raise ValueError("stitched execution requires a tile_size")
+        if not self.executor.supports_stitching:
+            raise ValueError(f"engine {self.name} does not support GP core stitching")
+
+    def _validate_tiled_size(self, shape: tuple[int, int]) -> None:
+        h, w = shape
+        if h % self.tile_size or w % self.tile_size:
+            raise ValueError(
+                f"mask size {(h, w)} must be a multiple of the training tile size "
+                f"{self.tile_size}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Execution plans
+    # ------------------------------------------------------------------ #
+    def _run_native(self, batch4: np.ndarray, batch_size: int, stats: PipelineStats) -> np.ndarray:
+        outputs = []
+        for start in range(0, batch4.shape[0], batch_size):
+            outputs.append(self.executor.run_batch(batch4[start : start + batch_size]))
+            stats.num_batches += 1
+        return np.concatenate(outputs, axis=0)
+
+    def _run_stitched(self, batch4: np.ndarray, batch_size: int, stats: PipelineStats) -> np.ndarray:
+        self._require_stitchable()
+        n, _, h, w = batch4.shape
+        self._validate_tiled_size((h, w))
+
+        # Phase 1: tiled global perception (eq. (13)).  All masks share one
+        # tile grid (same size), so their tiles are concatenated into one
+        # stream and the GP forwards are batched across it — for a single
+        # mask this degenerates to the seed per-mask partitioning exactly.
+        per_mask = None
+        all_tiles = []
+        specs = None
+        for i in range(n):
+            tiles, specs = extract_tiles(batch4[i, 0], self.tile_size)
+            per_mask = tiles.shape[0]
+            all_tiles.append(tiles)
+        gp_tiles = self._run_gp_batches(np.concatenate(all_tiles, axis=0), batch_size, stats)
+        gp = np.stack(
+            [
+                self._stitch(gp_tiles[i * per_mask : (i + 1) * per_mask], specs, (h, w))
+                for i in range(n)
+            ]
+        )
+        # Phase 2: local perception + reconstruction on the full masks, batched
+        # across the input stream (eq. (14): both paths are translation
+        # invariant, so nothing else changes at the large size).
+        outputs = []
+        for start in range(0, n, batch_size):
+            outputs.append(
+                self.executor.run_reconstruction(
+                    gp[start : start + batch_size], batch4[start : start + batch_size]
+                )
+            )
+            stats.num_batches += 1
+        return np.concatenate(outputs, axis=0)
+
+    def _run_gp_batches(
+        self, tiles: np.ndarray, batch_size: int, stats: PipelineStats
+    ) -> np.ndarray:
+        """Global-perception forwards over a tile stream ``(n, t, t)``."""
+        gp_outputs = []
+        for start in range(0, tiles.shape[0], batch_size):
+            gp_outputs.append(self.executor.run_gp(tiles[start : start + batch_size][:, None]))
+            stats.num_batches += 1
+        stats.num_tiles += tiles.shape[0]
+        return np.concatenate(gp_outputs, axis=0)            # (n, C, tile/p, tile/p)
+
+    def _stitch(self, gp_tiles: np.ndarray, specs, shape: tuple[int, int]) -> np.ndarray:
+        """Stitch one mask's pooled GP tile cores back to full size.
+
+        Tile positions are re-expressed at the pooled resolution and only the
+        core further than half the optical diameter from any tile edge is
+        kept.
+        """
+        pool = self.executor.pool_factor
+        tile = self.tile_size
+        pooled_specs = [
+            TileSpec(row=s.row, col=s.col, y0=s.y0 // pool, x0=s.x0 // pool, size=tile // pool)
+            for s in specs
+        ]
+        margin = max(1, int(np.ceil(self.optical_diameter_pixels / (2 * pool))))
+        h, w = shape
+        return stitch_cores(gp_tiles, pooled_specs, (h // pool, w // pool), margin)
+
+    def _gp_features_one(
+        self, mask: np.ndarray, batch_size: int, stats: PipelineStats
+    ) -> np.ndarray:
+        """Tile one mask, run GP in batches, stitch the pooled cores."""
+        tiles, specs = extract_tiles(mask, self.tile_size)
+        gp_tiles = self._run_gp_batches(tiles, batch_size, stats)
+        return self._stitch(gp_tiles, specs, mask.shape)

@@ -1,0 +1,119 @@
+"""Batch executors: one uniform interface over models and litho simulators.
+
+The inference pipeline plans *what* to run (tiles, batches, stitching); an
+executor defines *how* one batch is run.  Two families exist:
+
+* :class:`ModelExecutor` wraps any :class:`repro.nn.Module`.  Forwards run
+  under :func:`repro.nn.eval_mode` + ``no_grad`` so inference never clobbers
+  the caller's train/eval state.  When the wrapped model exposes the DOINN
+  path decomposition (``global_perception`` / ``local_perception`` /
+  ``reconstruction``), the executor also exposes the per-path hooks the
+  large-tile stitching plan needs (paper §3.2).
+* :class:`SimulatorExecutor` wraps the golden :class:`LithoSimulator`.  It is
+  size-agnostic (the Hopkins/SOCS model convolves masks of any size) and
+  routes whole batches through the single-FFT aerial-image path, so the SOCS
+  transfer functions are computed once and shared by every mask.
+
+:func:`as_executor` adapts a raw model / simulator / executor uniformly; it is
+what lets ``InferencePipeline(engine)`` accept any of the three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Tensor, eval_mode, no_grad
+
+__all__ = ["Executor", "ModelExecutor", "SimulatorExecutor", "as_executor"]
+
+
+class Executor:
+    """Interface: run one ``(B, 1, H, W)`` mask batch to predictions."""
+
+    #: Human-readable engine name (used in stats / throughput reports).
+    name: str = "executor"
+    #: Whether ``run_batch`` accepts masks of any size without tiling.
+    arbitrary_size: bool = False
+    #: Whether the large-tile GP-stitching plan of §3.2 applies.
+    supports_stitching: bool = False
+
+    def run_batch(self, batch: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ModelExecutor(Executor):
+    """Executor over a learned model (DOINN or any baseline)."""
+
+    def __init__(self, model: Module) -> None:
+        if not isinstance(model, Module):
+            raise TypeError(f"ModelExecutor expects an nn.Module, got {type(model).__name__}")
+        self.model = model
+        self.name = type(model).__name__
+
+    @property
+    def supports_stitching(self) -> bool:
+        """True when the model has the GP/LP/IR decomposition of DOINN."""
+        return hasattr(self.model, "global_perception") and hasattr(self.model, "reconstruction")
+
+    @property
+    def pool_factor(self) -> int:
+        """GP pooling factor (resolution of the stitched feature map)."""
+        return int(self.model.config.pool_factor)
+
+    def run_batch(self, batch: np.ndarray) -> np.ndarray:
+        with eval_mode(self.model), no_grad():
+            return self.model(Tensor(batch)).numpy()
+
+    # -- DOINN path hooks for the large-tile stitching plan ------------- #
+    def run_gp(self, tiles: np.ndarray) -> np.ndarray:
+        """Global-perception features of a tile batch ``(B, 1, t, t)``."""
+        with eval_mode(self.model), no_grad():
+            return self.model.global_perception(Tensor(tiles)).numpy()
+
+    def run_reconstruction(self, gp: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """LP + image reconstruction on full-size masks with stitched GP maps.
+
+        ``gp`` is ``(B, C, H/p, W/p)``, ``masks`` is ``(B, 1, H, W)``; the LP
+        and IR paths are translation invariant, so they run on the full mask
+        directly (paper eq. (14)).
+        """
+        with eval_mode(self.model), no_grad():
+            lp = (
+                self.model.local_perception(Tensor(masks))
+                if getattr(self.model, "local_perception", None) is not None
+                else None
+            )
+            return self.model.reconstruction(Tensor(gp), lp).numpy()
+
+
+class SimulatorExecutor(Executor):
+    """Executor over the golden Hopkins/SOCS lithography simulator."""
+
+    arbitrary_size = True
+
+    def __init__(self, simulator, output: str = "resist") -> None:
+        if output not in ("resist", "aerial"):
+            raise ValueError(f"output must be 'resist' or 'aerial', got {output!r}")
+        self.simulator = simulator
+        self.output = output
+        self.name = f"{type(simulator).__name__}[{output}]"
+
+    def run_batch(self, batch: np.ndarray) -> np.ndarray:
+        aerial = self.simulator.aerial(batch[:, 0])
+        if self.output == "aerial":
+            return aerial[:, None]
+        return self.simulator.resist.develop(aerial)[:, None]
+
+
+def as_executor(engine, output: str = "resist") -> Executor:
+    """Adapt a model, simulator or executor to the :class:`Executor` interface."""
+    if isinstance(engine, Executor):
+        return engine
+    if isinstance(engine, Module):
+        return ModelExecutor(engine)
+    if hasattr(engine, "aerial") and hasattr(engine, "resist"):
+        return SimulatorExecutor(engine, output=output)
+    raise TypeError(
+        f"cannot build an executor from {type(engine).__name__}; expected an "
+        "nn.Module, a LithoSimulator or an Executor"
+    )

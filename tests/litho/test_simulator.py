@@ -54,9 +54,13 @@ def test_aerial_dose_scales_linearly(simulator):
     np.testing.assert_allclose(double, 2.0 * base, rtol=1e-9)
 
 
-def test_aerial_requires_2d_mask(simulator):
+def test_aerial_accepts_batches_rejects_higher_rank(simulator):
+    # A 3-D stack is a batch of masks (batch-first pipeline contract) ...
+    batch = aerial_image(np.zeros((2, 16, 16)), simulator.kernels)
+    assert batch.shape == (2, 16, 16)
+    # ... anything of higher rank is still rejected.
     with pytest.raises(ValueError):
-        aerial_image(np.zeros((2, 16, 16)), simulator.kernels)
+        aerial_image(np.zeros((1, 2, 16, 16)), simulator.kernels)
 
 
 def test_large_feature_prints_smaller_feature_does_not(simulator):
