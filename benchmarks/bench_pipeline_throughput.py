@@ -1,40 +1,90 @@
 """Benchmark P1 — batch-first inference pipeline throughput.
 
-Guards the headline of the batch-first refactor: the frequency-domain
-:func:`repro.litho.aerial_image` (one padded mask FFT reused across all
-cached SOCS transfer functions) must beat the seed per-kernel
-``fftconvolve`` loop by >= 2x on the Figure 6 tile size with 12 kernels,
-while staying numerically equivalent within 1e-8.  Also records
-:class:`repro.pipeline.InferencePipeline` model throughput at ``batch_size``
-1 vs the profile batch size, so the batching win stays visible in the
-BENCH_*.json trajectories.
+Guards the two headlines of the pipeline perf work:
+
+* **Batched aerial path** (PR 1): the frequency-domain
+  :func:`repro.litho.aerial_image` (one padded mask FFT reused across all
+  cached SOCS transfer functions) must beat the seed per-kernel
+  ``fftconvolve`` loop by >= 2x on the Figure 6 tile size with 12 kernels,
+  while staying numerically equivalent within 1e-8.
+* **Batch/worker scaling** (PR 2): the zero-copy conv hot path must keep
+  batched model inference at least as fast per tile as ``batch_size=1``
+  (the seed ``im2col`` path made bs=4 ~1.6x *slower* per tile), and the
+  :class:`~repro.pipeline.parallel.WorkerPoolExecutor` must produce
+  bit-identical outputs while scaling throughput with the physical cores
+  (>= 1.8x with 4 workers, asserted when the host has >= 4 cores).
+
+The full batch-size x worker-count sweep is written to
+``artifacts/results/pipeline_throughput.txt`` via the shared report hook.
+Run with ``--num-workers N`` (or ``REPRO_NUM_WORKERS``) to add a custom
+worker count to the sweep.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from repro.core import create_model
-from repro.evaluation import measure_pipeline_throughput
 from repro.litho import LithoSimulator, aerial_image, aerial_image_loop
+from repro.pipeline import InferencePipeline
 from repro.utils import format_table
 
 from conftest import record_report
 
-
-def _best_of(run, repeats: int = 5) -> float:
-    """Minimum wall time over ``repeats`` runs (robust to scheduler noise)."""
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        run()
-        times.append(time.perf_counter() - start)
-    return min(times)
+# Serial throughput is noisy on a busy host; batched execution passes when it
+# is at least as fast as bs=1 within this timing tolerance (the regression
+# guarded against was a 1.6x per-tile slowdown, far outside it).
+_NOISE_TOLERANCE = 1.05
+_PARALLEL_SPEEDUP_TARGET = 1.8
+_PARALLEL_SPEEDUP_CORES = 4
 
 
-def test_pipeline_throughput(benchmark, harness):
+def _physical_cores() -> int:
+    """Physical core count (SMT siblings collapsed); logical count fallback.
+
+    The 1.8x/4-worker target assumes 4 real cores — two hyperthreaded cores
+    exposing 4 logical CPUs cannot double a BLAS/FFT-bound workload.
+    """
+    try:
+        cores = set()
+        for entry in os.listdir("/sys/devices/system/cpu"):
+            if entry.startswith("cpu") and entry[3:].isdigit():
+                topology = f"/sys/devices/system/cpu/{entry}/topology"
+                with open(f"{topology}/physical_package_id") as handle:
+                    package = handle.read().strip()
+                with open(f"{topology}/core_id") as handle:
+                    cores.add((package, handle.read().strip()))
+        if cores:
+            return len(cores)
+    except OSError:
+        pass
+    return os.cpu_count() or 1
+
+
+def _interleaved_best(runs: dict, rounds: int = 5) -> dict:
+    """Per-config minimum over round-robin rounds.
+
+    Configurations compared against each other (seed loop vs batched FFT,
+    bs=1 vs batched) are timed in alternating rounds, so load drift on a
+    shared host biases every config equally instead of whichever happened to
+    run first.  Each minimum is clamped to one timer tick so a
+    sub-resolution run cannot yield a zero (and downstream an infinite
+    throughput).
+    """
+    best: dict = {}
+    for _ in range(rounds):
+        for key, run in runs.items():
+            start = time.perf_counter()
+            run()
+            elapsed = time.perf_counter() - start
+            best[key] = min(best.get(key, float("inf")), elapsed)
+    return {key: max(value, 1e-9) for key, value in best.items()}
+
+
+def test_pipeline_throughput(benchmark, harness, num_workers):
     profile = harness.profile
     size = profile.low_res_size
     rng = np.random.default_rng(7)
@@ -47,45 +97,109 @@ def test_pipeline_throughput(benchmark, harness):
     reference = np.stack([aerial_image_loop(m, kernels) for m in masks])
     np.testing.assert_allclose(aerial_image(masks, kernels), reference, atol=1e-8)
 
-    loop_per_mask = _best_of(lambda: [aerial_image_loop(m, kernels) for m in masks]) / len(masks)
-    batched_per_mask = _best_of(lambda: aerial_image(masks, kernels)) / len(masks)
-    speedup = loop_per_mask / batched_per_mask
+    aerial_times = _interleaved_best(
+        {
+            "loop": lambda: [aerial_image_loop(m, kernels) for m in masks],
+            "batched": lambda: aerial_image(masks, kernels),
+        }
+    )
+    loop_per_mask = aerial_times["loop"] / len(masks)
+    batched_per_mask = aerial_times["batched"] / len(masks)
+    aerial_speedup = loop_per_mask / batched_per_mask
 
-    # Model pipeline: the batch_size knob on the same DOINN tile workload.
+    # ------------------------------------------------------------------ #
+    # Batch-size x worker-count sweep on the DOINN tile workload
+    # ------------------------------------------------------------------ #
     model = create_model("doinn", image_size=size)
-    pipeline = harness.model_pipeline(model)
-    single = measure_pipeline_throughput(
-        pipeline, masks[0], profile.low_res_pixel, repeats=2, batch_size=1
-    )
-    batched = measure_pipeline_throughput(
-        pipeline, masks[0], profile.low_res_pixel, repeats=2, batch_size=profile.batch_size
-    )
+    # The serial baseline is pinned to num_workers=0 so it stays serial even
+    # under a fleet-wide REPRO_NUM_WORKERS override.
+    serial = harness.model_pipeline(model, num_workers=0)
+    serial.predict(masks)  # warm-up (weights, FFT plans, window views)
 
-    record_report(
-        "Pipeline throughput",
-        format_table(
-            ["Path", "ms / tile", "Speedup / note"],
-            [
-                ["Hopkins per-kernel loop (seed)", f"{loop_per_mask * 1e3:.2f}", "baseline"],
-                ["Hopkins batched FFT", f"{batched_per_mask * 1e3:.2f}", f"{speedup:.2f}x"],
-                [
-                    "DOINN pipeline (bs=1)",
-                    f"{single.seconds_per_tile * 1e3:.2f}",
-                    f"{single.um2_per_second:.1f} um^2/s",
-                ],
-                [
-                    f"DOINN pipeline (bs={profile.batch_size})",
-                    f"{batched.seconds_per_tile * 1e3:.2f}",
-                    f"{batched.um2_per_second:.1f} um^2/s",
-                ],
-            ],
-            title=f"Pipeline throughput ({size}x{size} tiles, 12 SOCS kernels)",
+    batch_sizes = sorted({1, 2, profile.batch_size, 2 * profile.batch_size})
+    # Default sweep covers the acceptance worker counts; an explicit
+    # --num-workers N narrows it to {0, N} (the smoke.sh mini-bench).
+    worker_counts = [0, num_workers] if num_workers else [0, 2, _PARALLEL_SPEEDUP_CORES]
+
+    per_tile: dict[tuple[int, int], float] = {}
+    reference_outputs = serial.predict(masks, batch_size=profile.batch_size)
+    for workers in worker_counts:
+        pipeline = (
+            serial
+            if workers <= 1
+            else harness.model_pipeline(model, num_workers=workers)
+        )
+        if workers > 1:
+            outputs = pipeline.predict(masks, batch_size=profile.batch_size)
+            assert np.array_equal(outputs, reference_outputs), (
+                f"worker-pool outputs (workers={workers}) must be bit-identical to serial"
+            )
+        timings = _interleaved_best(
+            {
+                bs: (lambda bs=bs: pipeline.predict(masks, batch_size=bs))
+                for bs in batch_sizes
+            },
+            rounds=5 if workers == 0 else 3,
+        )
+        for bs, seconds in timings.items():
+            per_tile[(workers, bs)] = seconds / len(masks)
+        if pipeline is not serial:
+            pipeline.close()
+    rows = [
+        [
+            "DOINN pipeline",
+            str(bs),
+            str(workers),
+            f"{per_tile[(workers, bs)] * 1e3:.2f}",
+            f"{1.0 / per_tile[(workers, bs)]:.1f}",
+        ]
+        for workers in worker_counts
+        for bs in batch_sizes
+    ]
+
+    table = format_table(
+        ["Engine", "Batch size", "Workers", "ms / tile", "masks / s"],
+        [
+            ["Hopkins per-kernel loop (seed)", "1", "0", f"{loop_per_mask * 1e3:.2f}", "-"],
+            ["Hopkins batched FFT", str(len(masks)), "0", f"{batched_per_mask * 1e3:.2f}",
+             f"{aerial_speedup:.2f}x vs seed"],
+            *rows,
+        ],
+        title=(
+            f"Pipeline throughput ({size}x{size} tiles, 12 SOCS kernels, "
+            f"{os.cpu_count()} core(s))"
         ),
     )
+    record_report("Pipeline throughput", table)
 
-    assert speedup >= 2.0, (
-        f"batched aerial path must be >=2x the per-kernel loop, got {speedup:.2f}x"
+    assert aerial_speedup >= 2.0, (
+        f"batched aerial path must be >=2x the per-kernel loop, got {aerial_speedup:.2f}x"
     )
+
+    # The bs=4 regression fix: batched execution must be at least as fast per
+    # tile as single-tile execution (seed im2col made it 1.6x slower).
+    single = per_tile[(0, 1)]
+    batched = per_tile[(0, profile.batch_size)]
+    assert batched <= single * _NOISE_TOLERANCE, (
+        f"batched (bs={profile.batch_size}) execution regressed vs bs=1: "
+        f"{batched * 1e3:.2f} ms/tile vs {single * 1e3:.2f} ms/tile"
+    )
+
+    # Worker-pool scaling holds where there are cores to scale onto; on
+    # smaller hosts the sweep is still recorded (sharding overhead on one
+    # core is a small net loss, not a win — see the pipeline docstring).
+    if (
+        _PARALLEL_SPEEDUP_CORES in worker_counts
+        and _physical_cores() >= _PARALLEL_SPEEDUP_CORES
+    ):
+        best_serial = min(t for (w, _), t in per_tile.items() if w == 0)
+        best_parallel = min(
+            t for (w, _), t in per_tile.items() if w == _PARALLEL_SPEEDUP_CORES
+        )
+        assert best_serial / best_parallel >= _PARALLEL_SPEEDUP_TARGET, (
+            f"{_PARALLEL_SPEEDUP_CORES} workers must give >= {_PARALLEL_SPEEDUP_TARGET}x "
+            f"pipeline throughput, got {best_serial / best_parallel:.2f}x"
+        )
 
     # Timed kernel: the batched aerial path on the full mask stream.
     benchmark(lambda: aerial_image(masks, kernels))

@@ -13,8 +13,31 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import Harness, artifacts_dir, get_profile
+from repro.pipeline import resolve_num_workers
 
 REPORTS: list[tuple[str, str]] = []
+
+
+def pytest_addoption(parser):
+    """Shared ``--num-workers`` flag for every ``bench_*.py``.
+
+    Defaults to the ``REPRO_NUM_WORKERS`` environment variable (then 0 =
+    serial), so both the CLI flag and the fleet-wide env override reach each
+    benchmark's inference pipelines.
+    """
+    parser.addoption(
+        "--num-workers",
+        action="store",
+        type=int,
+        default=None,
+        help="worker processes for pipeline benchmarks (default: REPRO_NUM_WORKERS or 0)",
+    )
+
+
+@pytest.fixture(scope="session")
+def num_workers(request) -> int:
+    """Resolved worker count for the benchmark run (0 = serial)."""
+    return resolve_num_workers(request.config.getoption("--num-workers"))
 
 
 def record_report(title: str, text: str) -> None:

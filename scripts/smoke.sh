@@ -14,5 +14,11 @@ export REPRO_PROFILE="${REPRO_PROFILE:-quick}"
 echo "== tier-1 tests =="
 python -m pytest -x -q tests "$@"
 
+echo "== parallel worker-pool tests =="
+python -m pytest -x -q tests/pipeline/test_parallel.py "$@"
+
 echo "== pipeline throughput bench (quick profile) =="
 python -m pytest -x -q benchmarks/bench_pipeline_throughput.py "$@"
+
+echo "== pipeline throughput mini-bench (2 workers) =="
+python -m pytest -x -q benchmarks/bench_pipeline_throughput.py --num-workers 2 "$@"

@@ -62,7 +62,9 @@ def _measure(
     start = time.perf_counter()
     for _ in range(repeats):
         run_once()
-    elapsed = time.perf_counter() - start
+    # Clamp to one timer tick: a smoke run faster than the clock resolution
+    # must not divide by zero or report infinite throughput.
+    elapsed = max(time.perf_counter() - start, 1e-9)
     per_tile = elapsed / (repeats * tiles_per_run)
     return ThroughputResult(
         name=name,
@@ -132,17 +134,19 @@ def measure_model_throughput(
     repeats: int = 3,
     warmup: int = 1,
     batch_size: int = 1,
+    num_workers: int | None = None,
 ) -> ThroughputResult:
     """Measure inference throughput of a learned model on one mask tile.
 
     ``batch_size`` controls how many tiles are executed per forward: 1 is the
     seed per-tile configuration; larger values report batched throughput
-    (Figure 6's deployment scenario).
+    (Figure 6's deployment scenario).  ``num_workers`` shards those batches
+    across a worker pool (ignored when an already-built pipeline is passed).
     """
     pipeline = (
         model
         if isinstance(model, InferencePipeline)
-        else InferencePipeline(model, batch_size=batch_size)
+        else InferencePipeline(model, batch_size=batch_size, num_workers=num_workers)
     )
     return measure_pipeline_throughput(
         pipeline,
@@ -162,9 +166,10 @@ def measure_simulator_throughput(
     repeats: int = 3,
     warmup: int = 1,
     batch_size: int = 1,
+    num_workers: int | None = None,
 ) -> ThroughputResult:
     """Measure throughput of the golden lithography simulator on one mask tile."""
-    pipeline = InferencePipeline(simulator, batch_size=batch_size)
+    pipeline = InferencePipeline(simulator, batch_size=batch_size, num_workers=num_workers)
     return measure_pipeline_throughput(
         pipeline,
         mask,

@@ -25,8 +25,13 @@ def run_table4(
     harness: Harness | None = None,
     benchmark: str = "ispd2019",
     save_figure9: bool = True,
+    num_workers: int | None = None,
 ) -> dict:
-    """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles."""
+    """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles.
+
+    ``num_workers`` shards the tile batches of both rows across a worker
+    pool; the predictions are bit-identical to the serial path.
+    """
     harness = harness or Harness()
     profile = harness.profile
 
@@ -47,9 +52,11 @@ def run_table4(
         model,
         tile_size=config.image_size,
         optical_diameter_pixels=simulator.optical_diameter_pixels,
+        num_workers=num_workers,
     )
     naive_predictions = pipeline.predict_naive(large.masks)
     lt_predictions = pipeline.predict(large.masks, stitch=True)
+    pipeline.close()
 
     naive_score = evaluate_predictions(naive_predictions, large.resists)
     lt_score = evaluate_predictions(lt_predictions, large.resists)

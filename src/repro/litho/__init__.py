@@ -1,6 +1,6 @@
 """Golden lithography simulator: Hopkins/SOCS optics and resist models."""
 
-from .hopkins import aerial_image, aerial_image_loop, clear_field_intensity
+from .hopkins import AerialWorkspace, aerial_image, aerial_image_loop, clear_field_intensity
 from .kernels import SOCSKernels, compute_tcc_matrix, generate_kernels
 from .optics import OpticalSettings, pupil_function, source_points
 from .resist import ConstantThresholdResist, ResistModel, SigmoidResist
@@ -13,6 +13,7 @@ __all__ = [
     "SOCSKernels",
     "compute_tcc_matrix",
     "generate_kernels",
+    "AerialWorkspace",
     "aerial_image",
     "aerial_image_loop",
     "clear_field_intensity",

@@ -28,13 +28,56 @@ from scipy.signal import fftconvolve
 
 from .kernels import SOCSKernels
 
-__all__ = ["aerial_image", "aerial_image_loop", "clear_field_intensity"]
+__all__ = ["AerialWorkspace", "aerial_image", "aerial_image_loop", "clear_field_intensity"]
 
-# Upper bound (bytes) on the complex field scratch array of one kernel chunk.
+# Upper bound (bytes) on the complex field scratch array of one chunk.
 # Small enough to stay cache-resident (a 128 MB scratch measured ~2x slower on
 # 8-mask batches than a few MB), large enough to amortize the per-ifft2
 # dispatch.
 _CHUNK_BUDGET_BYTES = 4 * 1024 * 1024
+# Per-mask budget that fixes the *kernel* chunking.  The kernel chunk size
+# must not depend on the batch size: it sets the grouping of the SOCS
+# accumulation ``sum_k |field_k|^2``, and a batch-dependent grouping would
+# make results differ in the last ULP between a whole batch and its shards —
+# breaking the worker pool's bit-identical-to-serial invariant.  Batching
+# economy comes from grouping *masks* instead (mask sums are independent).
+_MASK_CHUNK_BUDGET_BYTES = 1024 * 1024
+
+
+class AerialWorkspace:
+    """Reusable scratch buffers for the batched aerial-image hot loop.
+
+    The per-chunk complex field product and the squared-magnitude scratch are
+    the two big allocations :func:`aerial_image` repeats on every call; an
+    executor that simulates a stream of same-size batches (the inference
+    pipeline, one per worker process) hands the same workspace to every call
+    so those buffers are allocated exactly once per (shape, dtype).
+
+    Only scratch that is dead once the call returns lives here — the returned
+    intensity is always freshly allocated, so callers can hold results across
+    subsequent simulations.  The workspace deliberately pickles empty: buffers
+    are per-process scratch, and shipping them to pool workers would only
+    inflate the executor payload.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def buffer(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """An uninitialized reusable buffer for ``key`` at ``shape``/``dtype``."""
+        shape = tuple(int(s) for s in shape)
+        cache_key = (key, shape, np.dtype(dtype).str)
+        buf = self._buffers.get(cache_key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[cache_key] = buf
+        return buf
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._buffers = {}
 
 
 def clear_field_intensity(kernels: SOCSKernels) -> float:
@@ -50,14 +93,18 @@ def clear_field_intensity(kernels: SOCSKernels) -> float:
     return intensity
 
 
-def _aerial_batch(masks: np.ndarray, kernels: SOCSKernels) -> np.ndarray:
+def _aerial_batch(
+    masks: np.ndarray, kernels: SOCSKernels, workspace: AerialWorkspace | None = None
+) -> np.ndarray:
     """Unnormalized aerial intensity of a mask batch ``(N, H, W)``.
 
     One padded FFT per mask, multiplied against the cached ``sqrt(alpha_k)``-
     weighted kernel transfer functions, so the SOCS sum is a plain
     ``sum_k |field_k|^2``; the crop offset ``(K - 1) // 2`` reproduces
     ``fftconvolve``'s ``mode="same"`` centring exactly, so the result matches
-    the per-kernel loop to floating-point round-off.
+    the per-kernel loop to floating-point round-off.  With a ``workspace`` the
+    chunked field product and magnitude scratch are written into preallocated
+    buffers instead of being reallocated per chunk and per call.
     """
     n, h, w = masks.shape
     support = kernels.support
@@ -73,15 +120,35 @@ def _aerial_batch(masks: np.ndarray, kernels: SOCSKernels) -> np.ndarray:
     rows = slice(start, start + h)
     cols = slice(start, start + w)
 
-    per_field_bytes = n * fft_shape[0] * fft_shape[1] * 16
-    chunk = max(1, int(_CHUNK_BUDGET_BYTES // max(per_field_bytes, 1)))
-    for chunk_start in range(0, weighted.shape[0], chunk):
-        product = mask_hat[:, None] * weighted[chunk_start : chunk_start + chunk][None]
-        fields = ifft2(product, axes=(-2, -1), overwrite_x=True)[..., rows, cols]
-        # |field|^2 via real^2 + imag^2 (avoids the sqrt inside np.abs).
-        magnitude = fields.real**2
-        magnitude += fields.imag**2
-        intensity += magnitude.sum(axis=1)
+    # Fixed per-mask kernel chunk (accumulation grouping is batch-invariant);
+    # masks are grouped so the live field scratch stays inside the budget.
+    per_field_bytes = fft_shape[0] * fft_shape[1] * 16
+    kernel_chunk = max(1, int(_MASK_CHUNK_BUDGET_BYTES // max(per_field_bytes, 1)))
+    mask_group = max(1, int(_CHUNK_BUDGET_BYTES // max(kernel_chunk * per_field_bytes, 1)))
+    for g0 in range(0, n, mask_group):
+        group = slice(g0, min(g0 + mask_group, n))
+        group_hat = mask_hat[group]
+        for chunk_start in range(0, weighted.shape[0], kernel_chunk):
+            block = weighted[chunk_start : chunk_start + kernel_chunk]
+            if workspace is None:
+                product = group_hat[:, None] * block[None]
+            else:
+                product = workspace.buffer(
+                    "product", (group_hat.shape[0], block.shape[0], *fft_shape), np.complex128
+                )
+                np.multiply(group_hat[:, None], block[None], out=product)
+            fields = ifft2(product, axes=(-2, -1), overwrite_x=True)[..., rows, cols]
+            # |field|^2 via real^2 + imag^2 (avoids the sqrt inside np.abs).
+            if workspace is None:
+                magnitude = fields.real**2
+                magnitude += fields.imag**2
+            else:
+                magnitude = workspace.buffer("magnitude", fields.shape, np.float64)
+                scratch = workspace.buffer("magnitude2", fields.shape, np.float64)
+                np.multiply(fields.real, fields.real, out=magnitude)
+                np.multiply(fields.imag, fields.imag, out=scratch)
+                magnitude += scratch
+            intensity[group] += magnitude.sum(axis=1)
     return intensity
 
 
@@ -90,6 +157,7 @@ def aerial_image(
     kernels: SOCSKernels,
     normalize: bool = True,
     dose: float = 1.0,
+    workspace: AerialWorkspace | None = None,
 ) -> np.ndarray:
     """Compute the aerial image of one mask or a batch of masks.
 
@@ -106,6 +174,9 @@ def aerial_image(
         intensity 1.0.
     dose:
         Exposure dose multiplier (process-window exploration).
+    workspace:
+        Optional :class:`AerialWorkspace` whose scratch buffers are reused
+        across calls (one per long-lived executor / worker process).
 
     Returns
     -------
@@ -120,7 +191,7 @@ def aerial_image(
     else:
         raise ValueError(f"mask must be 2-D or a 3-D batch, got shape {mask.shape}")
 
-    intensity = _aerial_batch(batch, kernels)
+    intensity = _aerial_batch(batch, kernels, workspace)
     if normalize:
         intensity = intensity / clear_field_intensity(kernels)
     intensity *= dose

@@ -104,14 +104,18 @@ class LithoSimulator:
         """Shortcut returning only the resist image (training label)."""
         return self.simulate(mask).resist
 
-    def aerial(self, mask: np.ndarray) -> np.ndarray:
+    def aerial(self, mask: np.ndarray, workspace=None) -> np.ndarray:
         """Normalized aerial image of one mask ``(H, W)`` or a batch ``(N, H, W)``.
 
         Batches run in one FFT pass per mask against the cached SOCS transfer
         functions (the inference-pipeline hot path; see
-        :mod:`repro.litho.hopkins`).
+        :mod:`repro.litho.hopkins`).  Long-lived callers can pass an
+        :class:`~repro.litho.hopkins.AerialWorkspace` to reuse the FFT scratch
+        buffers across calls.
         """
-        return aerial_image(mask, self.kernels, normalize=True, dose=self.dose)
+        return aerial_image(
+            mask, self.kernels, normalize=True, dose=self.dose, workspace=workspace
+        )
 
     def with_dose(self, dose: float) -> "LithoSimulator":
         """Return a copy of this simulator at a different exposure dose."""

@@ -35,6 +35,7 @@ class OPCConfig:
     use_srafs: bool = True
     epe_search_range: int = 24        # pixels
     record_history: bool = True
+    num_workers: int | None = None    # worker pool for the simulation pipeline
 
 
 @dataclass
@@ -86,7 +87,17 @@ class OPCEngine:
     def __init__(self, simulator: LithoSimulator, config: OPCConfig | None = None) -> None:
         self.simulator = simulator
         self.config = config or OPCConfig()
-        self.pipeline = InferencePipeline(simulator)
+        self.pipeline = InferencePipeline(simulator, num_workers=self.config.num_workers)
+
+    def close(self) -> None:
+        """Release the simulation pipeline's worker pool (no-op when serial)."""
+        self.pipeline.close()
+
+    def __enter__(self) -> "OPCEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def correct(self, layout: Layout) -> OPCResult:

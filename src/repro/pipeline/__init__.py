@@ -6,6 +6,13 @@ see :mod:`repro.pipeline.engine` for the architecture overview.
 
 from .engine import InferencePipeline, PipelineResult, PipelineStats
 from .executors import Executor, ModelExecutor, SimulatorExecutor, as_executor
+from .parallel import (
+    NUM_WORKERS_ENV,
+    ParallelConfig,
+    WorkerPoolError,
+    WorkerPoolExecutor,
+    resolve_num_workers,
+)
 
 __all__ = [
     "InferencePipeline",
@@ -15,4 +22,9 @@ __all__ = [
     "ModelExecutor",
     "SimulatorExecutor",
     "as_executor",
+    "NUM_WORKERS_ENV",
+    "ParallelConfig",
+    "WorkerPoolError",
+    "WorkerPoolExecutor",
+    "resolve_num_workers",
 ]

@@ -24,6 +24,30 @@ transfer functions.
 Every run returns a :class:`PipelineResult` carrying the predictions plus
 :class:`PipelineStats` (tiles, batches, wall time) so throughput benches and
 regression trackers can observe the execution plan.
+
+Choosing batch size and workers
+-------------------------------
+Two independent knobs control throughput:
+
+* ``batch_size`` — tiles per executor invocation.  The conv hot path packs
+  patches through a zero-copy sliding-window view with one cache-resident
+  GEMM per sample, and :class:`~repro.pipeline.executors.ModelExecutor`
+  splits large batches into cache-sized micro-batches internally, so bigger
+  batches only help (seed: 35.5 ms/tile at bs=4 vs 21.9 at bs=1 on 64x64
+  DOINN tiles; after the rewrite ~15.1 ms/tile at bs=1 and ~13.8-14.0 at
+  bs>=2 on one core).  Larger batches amortize per-call planning overhead
+  and feed the worker pool bigger shards; past the micro-batch size there
+  is no cache penalty for going big.
+* ``num_workers`` — processes the executor's batches are sharded across (see
+  :mod:`repro.pipeline.parallel`; also settable fleet-wide via the
+  ``REPRO_NUM_WORKERS`` environment variable).  Parallel output is
+  bit-identical to serial.  Scaling follows the physical cores: on a
+  multi-core host expect near-linear gains up to the core count (the
+  acceptance bench requires >= 1.8x with 4 workers on >= 4 cores), while on
+  a single-core host the sharding overhead makes workers a small net loss —
+  leave the knob at 0 there.  ``benchmarks/bench_pipeline_throughput.py``
+  sweeps both knobs and writes the measured table to
+  ``artifacts/results/pipeline_throughput.txt``.
 """
 
 from __future__ import annotations
@@ -35,6 +59,7 @@ import numpy as np
 
 from ..layout.tiling import TileSpec, extract_tiles, stitch_cores
 from .executors import Executor, as_executor
+from .parallel import ParallelConfig, WorkerPoolExecutor
 
 __all__ = ["InferencePipeline", "PipelineResult", "PipelineStats"]
 
@@ -52,7 +77,15 @@ class PipelineStats:
 
     @property
     def masks_per_second(self) -> float:
-        return self.num_masks / self.seconds if self.seconds > 0 else float("inf")
+        """Throughput of the run; 0.0 when nothing ran.
+
+        The elapsed time is clamped to one timer tick so a smoke run that
+        finishes below the clock resolution can neither divide by zero nor
+        report infinite throughput.
+        """
+        if self.num_masks == 0:
+            return 0.0
+        return self.num_masks / max(self.seconds, 1e-9)
 
 
 @dataclass
@@ -82,6 +115,17 @@ class InferencePipeline:
         Optical ambit used to size the stitching core margin (``d`` in the
         paper; only the region further than ``d/2`` from a tile edge is
         trusted).
+    num_workers:
+        Worker processes the executor's batches are sharded across (see
+        :mod:`repro.pipeline.parallel`).  ``None`` defers to the
+        ``REPRO_NUM_WORKERS`` environment variable; values <= 1 run
+        in-process exactly as before.
+    chunk_size:
+        Items per worker-pool chunk; ``None`` splits each batch evenly over
+        the workers.
+    parallel:
+        A prebuilt :class:`~repro.pipeline.parallel.ParallelConfig`; explicit
+        ``num_workers``/``chunk_size`` arguments override its fields.
     """
 
     def __init__(
@@ -90,10 +134,22 @@ class InferencePipeline:
         tile_size: int | None = None,
         batch_size: int = 8,
         optical_diameter_pixels: int = 16,
+        num_workers: int | None = None,
+        chunk_size: int | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if parallel is not None:
+            num_workers = parallel.num_workers if num_workers is None else num_workers
+            chunk_size = parallel.chunk_size if chunk_size is None else chunk_size
+        parallel = ParallelConfig(num_workers=num_workers, chunk_size=chunk_size)
         self.executor: Executor = as_executor(engine)
+        self.num_workers = parallel.resolved_workers()
+        if self.num_workers > 1 and not isinstance(self.executor, WorkerPoolExecutor):
+            self.executor = WorkerPoolExecutor(self.executor, config=parallel)
+        elif isinstance(self.executor, WorkerPoolExecutor):
+            self.num_workers = self.executor.num_workers
         self.tile_size = tile_size
         self.batch_size = batch_size
         self.optical_diameter_pixels = optical_diameter_pixels
@@ -107,6 +163,18 @@ class InferencePipeline:
     @property
     def name(self) -> str:
         return self.executor.name
+
+    def close(self) -> None:
+        """Release pooled resources (worker processes); a no-op when serial."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "InferencePipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Public API

@@ -1,0 +1,309 @@
+"""Parallel worker-pool execution backend for the inference pipeline.
+
+:class:`WorkerPoolExecutor` wraps any :class:`~repro.pipeline.executors.Executor`
+and shards its batches across a multiprocessing pool so full-chip streams
+scale past one core:
+
+* **Shared-memory transport** — inputs are copied once into POSIX shared
+  memory (:mod:`multiprocessing.shared_memory`); workers map them zero-copy,
+  compute their chunk, and write the result directly into a shared output
+  buffer.  No mask or prediction array is ever pickled through a pipe.
+* **Chunked work queue** — each executor invocation is split into
+  ``chunk_size`` slices (default: an even split over the workers) that the
+  pool drains as a queue, so stragglers don't serialize the batch.
+* **Ordered reassembly** — every chunk writes its half-open ``[start, stop)``
+  slice of the shared output, so results come back in input order by
+  construction, bit-identical to the serial path.
+* **Error propagation** — a worker failure is captured as the full remote
+  traceback and re-raised in the parent as :class:`WorkerPoolError`.
+* **Clean shutdown** — the pool is created lazily on first parallel run and
+  torn down by :meth:`WorkerPoolExecutor.close` (also a context manager, also
+  best-effort on garbage collection).
+
+``num_workers <= 1`` (and single-item batches) degrade to the wrapped
+executor's in-process path, so a pipeline with the knob left at zero behaves
+exactly as before.  The worker count resolves from, in order: an explicit
+``num_workers`` argument, the ``REPRO_NUM_WORKERS`` environment variable, or
+0 (serial).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import sys
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .executors import Executor, as_executor
+
+__all__ = [
+    "NUM_WORKERS_ENV",
+    "ParallelConfig",
+    "WorkerPoolError",
+    "WorkerPoolExecutor",
+    "resolve_num_workers",
+]
+
+#: Environment variable consulted when no explicit worker count is given, so
+#: every pipeline consumer (benchmarks, experiment drivers, examples) can be
+#: parallelized without threading a flag through its call chain.
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+
+def resolve_num_workers(num_workers: int | None = None) -> int:
+    """Resolve a worker count: explicit argument > ``REPRO_NUM_WORKERS`` > 0."""
+    if num_workers is None:
+        raw = os.environ.get(NUM_WORKERS_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            num_workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"{NUM_WORKERS_ENV}={raw!r} is not an integer") from exc
+    num_workers = int(num_workers)
+    if num_workers < 0:
+        raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+    return num_workers
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Parallel-execution knobs threaded through every pipeline consumer.
+
+    ``num_workers``: worker processes; ``None`` defers to ``REPRO_NUM_WORKERS``
+    (then 0), and values <= 1 mean serial in-process execution.
+    ``chunk_size``: items per work-queue chunk; ``None`` splits each batch
+    evenly over the workers.
+    """
+
+    num_workers: int | None = None
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def resolved_workers(self) -> int:
+        return resolve_num_workers(self.num_workers)
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker process failed; the message carries the remote traceback."""
+
+
+# ---------------------------------------------------------------------- #
+# Worker-process side
+# ---------------------------------------------------------------------- #
+_WORKER_EXECUTOR: Executor | None = None
+
+
+def _init_worker(executor: Executor) -> None:
+    global _WORKER_EXECUTOR
+    _WORKER_EXECUTOR = executor
+
+
+def _execute_chunk(task) -> None:
+    method, inputs, output, start, stop = task
+    handles = []
+    try:
+        views = []
+        for name, shape, dtype in inputs:
+            shm = shared_memory.SharedMemory(name=name)
+            handles.append(shm)
+            views.append(np.ndarray(shape, dtype=dtype, buffer=shm.buf)[start:stop])
+        out_name, out_shape, out_dtype = output
+        out_shm = shared_memory.SharedMemory(name=out_name)
+        handles.append(out_shm)
+        out = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
+        out[start:stop] = getattr(_WORKER_EXECUTOR, method)(*views)
+        # Drop the array views before closing: a SharedMemory mapping cannot
+        # close while ndarrays still export its buffer.
+        del views, out
+    finally:
+        for shm in handles:
+            try:
+                shm.close()
+            except BufferError:
+                pass  # failure path: views still alive; freed with the frame
+
+
+def _run_chunk(task) -> str | None:
+    """Pool entry point: returns ``None`` on success, a traceback on failure."""
+    try:
+        _execute_chunk(task)
+        return None
+    except BaseException:
+        return traceback.format_exc()
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+class WorkerPoolExecutor(Executor):
+    """Shard any executor's batches across a multiprocessing pool.
+
+    The wrapped executor is shipped to each worker once (pool initializer);
+    per-call traffic is pure shared memory.  The first call for each
+    ``(method, item shape)`` runs one item in-process to learn the output
+    spec (and warm the parent's caches); afterwards every batch is fully
+    sharded.  All capability flags and the stitching hooks of the wrapped
+    executor are proxied, so the pipeline's planner sees no difference
+    between a serial and a pooled engine.
+    """
+
+    def __init__(
+        self,
+        engine,
+        num_workers: int | None = None,
+        chunk_size: int | None = None,
+        config: ParallelConfig | None = None,
+    ) -> None:
+        if config is not None:
+            num_workers = config.num_workers if num_workers is None else num_workers
+            chunk_size = config.chunk_size if chunk_size is None else chunk_size
+        config = ParallelConfig(num_workers=num_workers, chunk_size=chunk_size)
+        inner = as_executor(engine)
+        if isinstance(inner, WorkerPoolExecutor):
+            raise TypeError("cannot nest WorkerPoolExecutor inside WorkerPoolExecutor")
+        self.inner = inner
+        self.num_workers = config.resolved_workers()
+        self.chunk_size = config.chunk_size
+        self.name = (
+            f"{inner.name}[workers={self.num_workers}]" if self.num_workers > 1 else inner.name
+        )
+        self._pool = None
+        self._output_specs: dict = {}
+
+    # -- capability proxies -------------------------------------------- #
+    @property
+    def arbitrary_size(self) -> bool:
+        return self.inner.arbitrary_size
+
+    @property
+    def supports_stitching(self) -> bool:
+        return self.inner.supports_stitching
+
+    @property
+    def pool_factor(self) -> int:
+        return self.inner.pool_factor
+
+    # -- executor interface -------------------------------------------- #
+    def run_batch(self, batch: np.ndarray) -> np.ndarray:
+        return self._run("run_batch", (batch,))
+
+    def run_gp(self, tiles: np.ndarray) -> np.ndarray:
+        return self._run("run_gp", (tiles,))
+
+    def run_reconstruction(self, gp: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        return self._run("run_reconstruction", (gp, masks))
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool respawns on next use)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPoolExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_pool"] = None  # pools are per-process
+        return state
+
+    # -- sharded execution ---------------------------------------------- #
+    def _run(self, method: str, arrays: tuple) -> np.ndarray:
+        fn = getattr(self.inner, method)
+        batch = arrays[0].shape[0]
+        if self.num_workers <= 1 or batch < 2:
+            return fn(*arrays)
+
+        arrays = tuple(np.ascontiguousarray(a) for a in arrays)
+        spec_key = (
+            method,
+            tuple(a.shape[1:] for a in arrays),
+            tuple(a.dtype.str for a in arrays),
+        )
+        spec = self._output_specs.get(spec_key)
+        first = None
+        lead = 0
+        if spec is None:
+            # Probe one item in-process to learn the output spec; cached, so
+            # every later batch of this shape is sharded end to end.
+            first = fn(*(a[:1] for a in arrays))
+            spec = (tuple(first.shape[1:]), first.dtype)
+            self._output_specs[spec_key] = spec
+            lead = 1
+        item_shape, out_dtype = spec
+        out_shape = (batch, *item_shape)
+
+        chunk = self.chunk_size or math.ceil((batch - lead) / self.num_workers)
+        bounds = [(s, min(s + chunk, batch)) for s in range(lead, batch, chunk)]
+
+        shms = []
+        try:
+            inputs = []
+            for a in arrays:
+                shm = shared_memory.SharedMemory(create=True, size=a.nbytes)
+                shms.append(shm)
+                np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf)[:] = a
+                inputs.append((shm.name, a.shape, a.dtype.str))
+            out_nbytes = int(np.prod(out_shape, dtype=np.int64)) * out_dtype.itemsize
+            out_shm = shared_memory.SharedMemory(create=True, size=max(out_nbytes, 1))
+            shms.append(out_shm)
+            out_view = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
+            if first is not None:
+                out_view[:1] = first
+            output = (out_shm.name, out_shape, out_dtype.str)
+            tasks = [(method, inputs, output, start, stop) for start, stop in bounds]
+            failures = [tb for tb in self._ensure_pool().map(_run_chunk, tasks) if tb]
+            if failures:
+                raise WorkerPoolError(
+                    f"{len(failures)} worker chunk(s) of {self.name}.{method} failed; "
+                    "first remote traceback:\n" + failures[0]
+                )
+            result = out_view.copy()
+            del out_view
+            return result
+        finally:
+            for shm in shms:
+                try:
+                    shm.close()
+                except BufferError:
+                    pass
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            # fork is the cheap path (no re-import, no executor pickling) but
+            # is only safe on Linux: macOS system frameworks and a forked
+            # BLAS/pthread state can crash or deadlock children, which is why
+            # CPython's default start method is spawn there.
+            methods = mp.get_all_start_methods()
+            use_fork = sys.platform.startswith("linux") and "fork" in methods
+            ctx = mp.get_context("fork" if use_fork else "spawn")
+            self._pool = ctx.Pool(
+                processes=self.num_workers,
+                initializer=_init_worker,
+                initargs=(self.inner,),
+            )
+        return self._pool
