@@ -1,6 +1,6 @@
 """Benchmark P1 — batch-first inference pipeline throughput.
 
-Guards the two headlines of the pipeline perf work:
+Guards the three headlines of the pipeline perf work:
 
 * **Batched aerial path** (PR 1): the frequency-domain
   :func:`repro.litho.aerial_image` (one padded mask FFT reused across all
@@ -13,11 +13,17 @@ Guards the two headlines of the pipeline perf work:
   :class:`~repro.pipeline.parallel.WorkerPoolExecutor` must produce
   bit-identical outputs while scaling throughput with the physical cores
   (>= 1.8x with 4 workers, asserted when the host has >= 4 cores).
+* **Fused inference graphs** (PR 3): compiling the model
+  (:mod:`repro.nn.fusion`: conv->BN->LeakyReLU folded into single passes
+  with a pad-once buffer cache) must give >= 1.3x model-forward throughput
+  at ``batch_size=1`` while staying numerically equivalent within 1e-12;
+  the sweep records fused and unfused columns side by side.
 
-The full batch-size x worker-count sweep is written to
+The full engine x batch-size x worker-count sweep is written to
 ``artifacts/results/pipeline_throughput.txt`` via the shared report hook.
 Run with ``--num-workers N`` (or ``REPRO_NUM_WORKERS``) to add a custom
-worker count to the sweep.
+worker count to the sweep, and ``--compile`` (or ``REPRO_COMPILE``) to run
+the worker sweep on compiled pipelines.
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ from conftest import record_report
 _NOISE_TOLERANCE = 1.05
 _PARALLEL_SPEEDUP_TARGET = 1.8
 _PARALLEL_SPEEDUP_CORES = 4
+_FUSED_SPEEDUP_TARGET = 1.3
+_FUSED_EQUIVALENCE_ATOL = 1e-12
 
 
 def _physical_cores() -> int:
@@ -84,7 +92,7 @@ def _interleaved_best(runs: dict, rounds: int = 5) -> dict:
     return {key: max(value, 1e-9) for key, value in best.items()}
 
 
-def test_pipeline_throughput(benchmark, harness, num_workers):
+def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference):
     profile = harness.profile
     size = profile.low_res_size
     rng = np.random.default_rng(7)
@@ -108,55 +116,83 @@ def test_pipeline_throughput(benchmark, harness, num_workers):
     aerial_speedup = loop_per_mask / batched_per_mask
 
     # ------------------------------------------------------------------ #
-    # Batch-size x worker-count sweep on the DOINN tile workload
+    # Engine x batch-size x worker-count sweep on the DOINN tile workload
     # ------------------------------------------------------------------ #
     model = create_model("doinn", image_size=size)
-    # The serial baseline is pinned to num_workers=0 so it stays serial even
-    # under a fleet-wide REPRO_NUM_WORKERS override.
+    # The serial baselines are pinned to num_workers=0 so they stay serial
+    # even under a fleet-wide REPRO_NUM_WORKERS override.
     serial = harness.model_pipeline(model, num_workers=0)
-    serial.predict(masks)  # warm-up (weights, FFT plans, window views)
+    fused_serial = harness.model_pipeline(model, num_workers=0, compile=True)
+    serial.predict(masks)        # warm-up (weights, FFT plans, window views)
+    fused_serial.predict(masks)  # warm-up (BN folds, pad-once buffer cache)
+
+    reference_outputs = serial.predict(masks, batch_size=profile.batch_size)
+    fused_outputs = fused_serial.predict(masks, batch_size=profile.batch_size)
+    fused_max_err = float(np.abs(fused_outputs - reference_outputs).max())
+    assert fused_max_err <= _FUSED_EQUIVALENCE_ATOL, (
+        f"compiled pipeline diverged from the unfused path: max |delta| = {fused_max_err:.3e}"
+    )
 
     batch_sizes = sorted({1, 2, profile.batch_size, 2 * profile.batch_size})
     # Default sweep covers the acceptance worker counts; an explicit
     # --num-workers N narrows it to {0, N} (the smoke.sh mini-bench).
     worker_counts = [0, num_workers] if num_workers else [0, 2, _PARALLEL_SPEEDUP_CORES]
 
-    per_tile: dict[tuple[int, int], float] = {}
-    reference_outputs = serial.predict(masks, batch_size=profile.batch_size)
+    # Serial rounds time the unfused and compiled engines interleaved, so
+    # host-load drift cannot bias the fused-speedup ratio.
+    per_tile: dict[tuple[str, int, int], float] = {}  # (engine, workers, bs)
+    serial_runs = {}
+    for bs in batch_sizes:
+        serial_runs[("plain", bs)] = lambda bs=bs: serial.predict(masks, batch_size=bs)
+        serial_runs[("fused", bs)] = lambda bs=bs: fused_serial.predict(masks, batch_size=bs)
+    for (engine, bs), seconds in _interleaved_best(serial_runs).items():
+        per_tile[(engine, 0, bs)] = seconds / len(masks)
+
+    # The worker sweep runs whichever engine --compile selects; parallel
+    # outputs must be bit-identical to the same engine run serially.
+    pool_engine = "fused" if compile_inference else "plain"
+    pool_expected = fused_outputs if compile_inference else reference_outputs
     for workers in worker_counts:
+        if workers == 0:
+            continue
         pipeline = (
-            serial
+            (fused_serial if compile_inference else serial)
             if workers <= 1
-            else harness.model_pipeline(model, num_workers=workers)
+            else harness.model_pipeline(model, num_workers=workers, compile=compile_inference)
         )
         if workers > 1:
             outputs = pipeline.predict(masks, batch_size=profile.batch_size)
-            assert np.array_equal(outputs, reference_outputs), (
-                f"worker-pool outputs (workers={workers}) must be bit-identical to serial"
+            assert np.array_equal(outputs, pool_expected), (
+                f"worker-pool outputs (workers={workers}, {pool_engine}) must be "
+                "bit-identical to the serial run of the same engine"
             )
         timings = _interleaved_best(
             {
                 bs: (lambda bs=bs: pipeline.predict(masks, batch_size=bs))
                 for bs in batch_sizes
             },
-            rounds=5 if workers == 0 else 3,
+            rounds=3,
         )
         for bs, seconds in timings.items():
-            per_tile[(workers, bs)] = seconds / len(masks)
-        if pipeline is not serial:
+            per_tile[(pool_engine, workers, bs)] = seconds / len(masks)
+        if pipeline is not serial and pipeline is not fused_serial:
             pipeline.close()
+
+    def _engine_label(engine: str) -> str:
+        return "DOINN pipeline [compiled]" if engine == "fused" else "DOINN pipeline"
+
     rows = [
         [
-            "DOINN pipeline",
+            _engine_label(engine),
             str(bs),
             str(workers),
-            f"{per_tile[(workers, bs)] * 1e3:.2f}",
-            f"{1.0 / per_tile[(workers, bs)]:.1f}",
+            f"{per_tile[(engine, workers, bs)] * 1e3:.2f}",
+            f"{1.0 / per_tile[(engine, workers, bs)]:.1f}",
         ]
-        for workers in worker_counts
-        for bs in batch_sizes
+        for engine, workers, bs in sorted(per_tile, key=lambda k: (k[0] == "fused", k[1], k[2]))
     ]
 
+    fused_speedup = per_tile[("plain", 0, 1)] / per_tile[("fused", 0, 1)]
     table = format_table(
         ["Engine", "Batch size", "Workers", "ms / tile", "masks / s"],
         [
@@ -170,16 +206,27 @@ def test_pipeline_throughput(benchmark, harness, num_workers):
             f"{os.cpu_count()} core(s))"
         ),
     )
-    record_report("Pipeline throughput", table)
+    summary = (
+        f"model-forward speedup at bs=1 (compiled vs unfused): {fused_speedup:.2f}x; "
+        f"fused max |delta| = {fused_max_err:.3e}"
+    )
+    record_report("Pipeline throughput", table + "\n" + summary)
 
     assert aerial_speedup >= 2.0, (
         f"batched aerial path must be >=2x the per-kernel loop, got {aerial_speedup:.2f}x"
     )
 
+    # The fusion headline: the compiled graph must beat the unfused path by
+    # >= 1.3x per tile at batch_size=1 (measured: ~2x on one x86 core).
+    assert fused_speedup >= _FUSED_SPEEDUP_TARGET, (
+        f"compiled pipeline must give >= {_FUSED_SPEEDUP_TARGET}x model-forward "
+        f"throughput at bs=1, got {fused_speedup:.2f}x"
+    )
+
     # The bs=4 regression fix: batched execution must be at least as fast per
     # tile as single-tile execution (seed im2col made it 1.6x slower).
-    single = per_tile[(0, 1)]
-    batched = per_tile[(0, profile.batch_size)]
+    single = per_tile[("plain", 0, 1)]
+    batched = per_tile[("plain", 0, profile.batch_size)]
     assert batched <= single * _NOISE_TOLERANCE, (
         f"batched (bs={profile.batch_size}) execution regressed vs bs=1: "
         f"{batched * 1e3:.2f} ms/tile vs {single * 1e3:.2f} ms/tile"
@@ -192,9 +239,10 @@ def test_pipeline_throughput(benchmark, harness, num_workers):
         _PARALLEL_SPEEDUP_CORES in worker_counts
         and _physical_cores() >= _PARALLEL_SPEEDUP_CORES
     ):
-        best_serial = min(t for (w, _), t in per_tile.items() if w == 0)
+        best_serial = min(t for (e, w, _), t in per_tile.items() if w == 0 and e == pool_engine)
         best_parallel = min(
-            t for (w, _), t in per_tile.items() if w == _PARALLEL_SPEEDUP_CORES
+            t for (e, w, _), t in per_tile.items()
+            if w == _PARALLEL_SPEEDUP_CORES and e == pool_engine
         )
         assert best_serial / best_parallel >= _PARALLEL_SPEEDUP_TARGET, (
             f"{_PARALLEL_SPEEDUP_CORES} workers must give >= {_PARALLEL_SPEEDUP_TARGET}x "

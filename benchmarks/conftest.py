@@ -8,6 +8,7 @@ they appear even with output capture enabled) as well as written to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,11 +20,12 @@ REPORTS: list[tuple[str, str]] = []
 
 
 def pytest_addoption(parser):
-    """Shared ``--num-workers`` flag for every ``bench_*.py``.
+    """Shared ``--num-workers`` / ``--compile`` flags for every ``bench_*.py``.
 
-    Defaults to the ``REPRO_NUM_WORKERS`` environment variable (then 0 =
-    serial), so both the CLI flag and the fleet-wide env override reach each
-    benchmark's inference pipelines.
+    ``--num-workers`` defaults to the ``REPRO_NUM_WORKERS`` environment
+    variable (then 0 = serial); ``--compile`` defaults to the mirror-image
+    ``REPRO_COMPILE`` variable — so both CLI flags and the fleet-wide env
+    overrides reach each benchmark's inference pipelines.
     """
     parser.addoption(
         "--num-workers",
@@ -32,12 +34,27 @@ def pytest_addoption(parser):
         default=None,
         help="worker processes for pipeline benchmarks (default: REPRO_NUM_WORKERS or 0)",
     )
+    parser.addoption(
+        "--compile",
+        action="store_true",
+        default=None,
+        help="run model pipelines as fused inference graphs (default: REPRO_COMPILE or off)",
+    )
 
 
 @pytest.fixture(scope="session")
 def num_workers(request) -> int:
     """Resolved worker count for the benchmark run (0 = serial)."""
     return resolve_num_workers(request.config.getoption("--num-workers"))
+
+
+@pytest.fixture(scope="session")
+def compile_inference(request) -> bool:
+    """Whether model pipelines in this run should use compiled fused graphs."""
+    flag = request.config.getoption("--compile")
+    if flag is None:
+        return os.environ.get("REPRO_COMPILE", "").strip().lower() in ("1", "true", "yes", "on")
+    return bool(flag)
 
 
 def record_report(title: str, text: str) -> None:

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 suite plus an explicit pass over the fusion
+# equivalence suites (every registry model, fused vs unfused, <= 1e-12).
+# Runs with -p no:cacheprovider so repeated CI invocations on read-only or
+# shared checkouts never write .pytest_cache state.
+#
+# Usage:  scripts/ci.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# The two stages partition the tier-1 suite (no test runs twice): everything
+# except the fusion files first, then the equivalence suite as its own
+# visibly-labelled gate.
+echo "== tier-1 tests =="
+python -m pytest -x -q -p no:cacheprovider tests \
+    --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py "$@"
+
+echo "== fusion equivalence suite (compiled == unfused for the whole zoo) =="
+python -m pytest -x -q -p no:cacheprovider \
+    tests/nn/test_fusion.py tests/pipeline/test_compiled_pipeline.py "$@"

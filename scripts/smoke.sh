@@ -22,3 +22,10 @@ python -m pytest -x -q benchmarks/bench_pipeline_throughput.py "$@"
 
 echo "== pipeline throughput mini-bench (2 workers) =="
 python -m pytest -x -q benchmarks/bench_pipeline_throughput.py --num-workers 2 "$@"
+
+echo "== Compiled inference =="
+# Fused-graph equivalence across the model zoo, then the throughput bench
+# with the worker sweep running compiled pipelines (records the >=1.3x
+# model-forward speedup into artifacts/results/pipeline_throughput.txt).
+python -m pytest -x -q tests/nn/test_fusion.py tests/pipeline/test_compiled_pipeline.py "$@"
+python -m pytest -x -q benchmarks/bench_pipeline_throughput.py --compile "$@"

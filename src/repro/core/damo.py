@@ -33,6 +33,10 @@ class _ConvBlock(nn.Module):
         x = self.act(self.bn1(self.conv1(x)))
         return self.act(self.bn2(self.conv2(x)))
 
+    def fusible_chain(self):
+        """The whole block is one conv->BN->LeakyReLU fused chain (x2)."""
+        return [(self.conv1, self.bn1, self.act), (self.conv2, self.bn2, self.act)]
+
 
 class DAMODLS(nn.Module):
     """Nested-UNet (UNet++) generator with two nesting levels.
@@ -74,7 +78,14 @@ class DAMODLS(nn.Module):
         x01 = self.x01(Tensor.cat([x00, self.up(x10)], axis=1))
         x11 = self.x11(Tensor.cat([x10, self.up(x20)], axis=1))
         x02 = self.x02(Tensor.cat([x00, x01, self.up(x11)], axis=1))
-        return self.tanh(self.head(x02))
+        return self._head(x02)
+
+    def _head(self, x: Tensor) -> Tensor:
+        return self.tanh(self.head(x))
+
+    def fusion_rewrites(self):
+        """Fuse the 1x1 output conv with its tanh head."""
+        return {"_head": [(self.head, None, self.tanh)]}
 
     def predict(self, masks: np.ndarray, batch_size: int = 4) -> np.ndarray:
         """Inference helper mirroring :meth:`repro.core.doinn.DOINN.predict`."""

@@ -52,8 +52,23 @@ class BaselineFNO(nn.Module):
         x = self.lift(x)
         for layer in self.layers:
             x = layer(x)
-        x = self.relu(self.project1(x))
-        return self.tanh(self.project2(x))
+        return self._project(x)
+
+    def _project(self, x: Tensor) -> Tensor:
+        return self.tanh(self.project2(self.relu(self.project1(x))))
+
+    def fusion_rewrites(self):
+        """Fuse the two 1x1 projection convs with their activations."""
+        return {
+            "_project": [
+                (self.project1, None, self.relu),
+                (self.project2, None, self.tanh),
+            ]
+        }
+
+    def fusion_refresh(self) -> None:
+        """Rebuild the cached Fourier-layer list after chain rewriting."""
+        self.layers = [getattr(self, f"fourier{i}") for i in range(self.num_layers)]
 
     def predict(self, masks: np.ndarray, batch_size: int = 8) -> np.ndarray:
         """Inference helper mirroring :meth:`repro.core.doinn.DOINN.predict`."""

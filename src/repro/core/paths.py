@@ -40,6 +40,10 @@ class VGGBlock(nn.Module):
         x = self.act(self.bn2(self.conv2(x)))
         return x
 
+    def fusible_chain(self):
+        """The whole block is one conv->BN->LeakyReLU fused chain (x2)."""
+        return [(self.conv1, self.bn1, self.act), (self.conv2, self.bn2, self.act)]
+
 
 class GlobalPerception(nn.Module):
     """GP path: AvgPool(/8) -> FFT -> truncation -> lift -> mix -> iFFT (Table 5)."""
@@ -83,10 +87,32 @@ class LocalPerception(nn.Module):
 
     def forward(self, x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
         """Return (half-, quarter-, eighth-resolution) feature maps."""
-        f1 = self.vgg1(self.conv1(x))
-        f2 = self.vgg2(self.conv2(f1))
-        f3 = self.vgg3(self.conv3(f2))
+        f1 = self._stage1(x)
+        f2 = self._stage2(f1)
+        f3 = self._stage3(f2)
         return f1, f2, f3
+
+    # Each stage (strided conv + VGG block) is a straight-line conv chain, so
+    # the compiler can run it as one fused kernel with a single entry pad.
+    def _stage1(self, x: Tensor) -> Tensor:
+        return self.vgg1(self.conv1(x))
+
+    def _stage2(self, x: Tensor) -> Tensor:
+        return self.vgg2(self.conv2(x))
+
+    def _stage3(self, x: Tensor) -> Tensor:
+        return self.vgg3(self.conv3(x))
+
+    def fusion_rewrites(self):
+        """Fuse each downsampling conv together with its VGG block."""
+        def stage(conv, vgg):
+            return [(conv, None, None), (vgg.conv1, vgg.bn1, vgg.act), (vgg.conv2, vgg.bn2, vgg.act)]
+
+        return {
+            "_stage1": stage(self.conv1, self.vgg1),
+            "_stage2": stage(self.conv2, self.vgg2),
+            "_stage3": stage(self.conv3, self.vgg3),
+        }
 
 
 class ImageReconstruction(nn.Module):
@@ -152,9 +178,24 @@ class ImageReconstruction(nn.Module):
         if self.use_skips:
             x = Tensor.cat([x, f1], axis=1)
         x = self.vgg6(self.dconv3(x))
+        return self._refine_tail(x)
 
+    def _refine_tail(self, x: Tensor) -> Tensor:
+        """Refinement convs + output head — a straight-line fusible chain."""
         if self.use_refine:
             x = self.relu(self.refine1(x))
             x = self.relu(self.refine2(x))
             x = self.relu(self.refine3(x))
         return self.tanh(self.output(x))
+
+    def fusion_rewrites(self):
+        """Fuse the full-resolution refine convs and the tanh output head."""
+        steps = []
+        if self.use_refine:
+            steps += [
+                (self.refine1, None, self.relu),
+                (self.refine2, None, self.relu),
+                (self.refine3, None, self.relu),
+            ]
+        steps.append((self.output, None, self.tanh))
+        return {"_refine_tail": steps}

@@ -30,6 +30,10 @@ class _DoubleConv(nn.Module):
         x = self.relu(self.bn1(self.conv1(x)))
         return self.relu(self.bn2(self.conv2(x)))
 
+    def fusible_chain(self):
+        """The whole block is one conv->BN->ReLU fused chain (x2)."""
+        return [(self.conv1, self.bn1, self.relu), (self.conv2, self.bn2, self.relu)]
+
 
 class UNet(nn.Module):
     """UNet for mask-to-resist image translation."""
@@ -88,7 +92,21 @@ class UNet(nn.Module):
         for upconv, decoder, skip in zip(self.upconvs, self.decoders, reversed(skips)):
             x = upconv(x)
             x = decoder(Tensor.cat([x, skip], axis=1))
+        return self._head(x)
+
+    def _head(self, x: Tensor) -> Tensor:
         return self.tanh(self.head(x))
+
+    def fusion_rewrites(self):
+        """Fuse the 1x1 output conv with its tanh head."""
+        return {"_head": [(self.head, None, self.tanh)]}
+
+    def fusion_refresh(self) -> None:
+        """Rebuild the cached encoder/decoder lists after chain rewriting."""
+        self.encoders = [getattr(self, f"enc{i}") for i in range(self.depth)]
+        self.pools = [getattr(self, f"pool{i}") for i in range(self.depth)]
+        self.upconvs = [getattr(self, f"up{i}") for i in reversed(range(self.depth))]
+        self.decoders = [getattr(self, f"dec{i}") for i in reversed(range(self.depth))]
 
     def predict(self, masks: np.ndarray, batch_size: int = 8) -> np.ndarray:
         """Inference helper mirroring :meth:`repro.core.doinn.DOINN.predict`."""

@@ -7,6 +7,13 @@ baseline FNO, losses, optimizers and serialization.
 """
 
 from . import functional
+from .fusion import (
+    CompiledChain,
+    FusedChain,
+    FusedConvBNAct,
+    FusedInferenceGraph,
+    compile_model,
+)
 from .layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -34,6 +41,11 @@ from .tensor import Tensor, no_grad
 
 __all__ = [
     "functional",
+    "CompiledChain",
+    "FusedChain",
+    "FusedConvBNAct",
+    "FusedInferenceGraph",
+    "compile_model",
     "Tensor",
     "no_grad",
     "Module",

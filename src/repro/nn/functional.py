@@ -25,6 +25,7 @@ from .tensor import Tensor
 
 __all__ = [
     "conv2d",
+    "conv_bn_act",
     "conv_transpose2d",
     "avg_pool2d",
     "max_pool2d",
@@ -175,6 +176,109 @@ def conv2d(
             x.accumulate_grad(col2im(grad_cols, x.shape, kh, kw, stride, padding))
 
     return Tensor.from_op(out, parents, backward)
+
+
+#: Activation kinds understood by :func:`conv_bn_act` (and the fused graphs
+#: built on it by :mod:`repro.nn.fusion`).
+FUSED_ACTIVATIONS = ("identity", "relu", "leaky_relu", "tanh")
+
+
+def conv_bn_act(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    activation: str = "identity",
+    negative_slope: float = 0.01,
+    input_is_padded: bool = False,
+    output_padding: int = 0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fused inference kernel: conv (+ folded BN affine) (+ activation), one pass.
+
+    This is the eval-mode hot path compiled by :mod:`repro.nn.fusion`: the
+    batch-norm affine is folded into ``weight``/``bias`` ahead of time, and the
+    activation is applied to each sample's GEMM output tile while it is still
+    cache resident — instead of three separate passes (conv, batch norm,
+    activation) over a working set that spills the per-core cache.
+
+    Operates on plain ndarrays (no autograd); training forwards keep using
+    :func:`conv2d` / :func:`batch_norm2d` unchanged.
+
+    Parameters
+    ----------
+    input_is_padded:
+        The spatial border of ``x`` already carries this op's ``padding``
+        zeros (produced by a previous fused op via ``output_padding``), so the
+        per-call ``np.pad`` copy is skipped entirely.
+    output_padding:
+        Emit the result inside a zero border of this width, ready to be
+        consumed pad-free by a following conv with ``padding ==
+        output_padding`` — the "pad once" half of the fusion win.
+    out:
+        Optional preallocated ``(N, C_out, H_out + 2*output_padding, W_out +
+        2*output_padding)`` buffer whose border is already zero (a fused
+        chain's scratch cache); only the interior is written.
+    """
+    if activation not in FUSED_ACTIVATIONS:
+        raise ValueError(f"unknown fused activation {activation!r}; expected one of {FUSED_ACTIVATIONS}")
+    if activation == "leaky_relu" and not 0.0 <= negative_slope < 1.0:
+        # The in-place max(x, slope*x) identity below needs slope in [0, 1).
+        raise ValueError(f"fused leaky_relu requires 0 <= negative_slope < 1, got {negative_slope}")
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    n, c_in, _, _ = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv_bn_act: input has {c_in} channels, weight expects {c_in_w}")
+    if input_is_padded or padding == 0:
+        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+        if stride > 1:
+            windows = windows[:, :, ::stride, ::stride]
+    else:
+        windows = _window_view(x, kh, kw, stride, padding)
+    h_out, w_out = windows.shape[2], windows.shape[3]
+    oh, ow = h_out + 2 * output_padding, w_out + 2 * output_padding
+    dtype = np.result_type(windows, weight)
+    if out is None:
+        alloc = np.zeros if output_padding else np.empty
+        out = alloc((n, c_out, oh, ow), dtype=dtype)
+    elif out.shape != (n, c_out, oh, ow) or out.dtype != dtype:
+        raise ValueError(
+            f"conv_bn_act: out buffer has shape {out.shape} dtype {out.dtype}, "
+            f"expected {(n, c_out, oh, ow)} dtype {dtype}"
+        )
+    # The (C_out, C_in*kh*kw) weight matrix is a free view of the PyTorch
+    # weight layout — no per-call weight pack (tensordot repacks it every
+    # call).  The patch pack below is the single remaining copy per sample.
+    w_mat = weight.reshape(c_out, -1)
+    bias_col = None if bias is None else np.asarray(bias).reshape(c_out, 1)
+    length = h_out * w_out
+    for i in range(n):
+        # (C_in*kh*kw, L) patch matrix; for 1x1 stride-1 kernels the
+        # transpose is trivial and reshape returns a zero-copy view.
+        cols = windows[i].transpose(0, 3, 4, 1, 2).reshape(c_in * kh * kw, length)
+        if output_padding == 0:
+            # One GEMM per sample, written straight into the output buffer;
+            # bias/activation run in place on the cache-hot tile.
+            part = np.matmul(w_mat, cols, out=out[i].reshape(c_out, length))
+        else:
+            part = w_mat @ cols
+        if bias_col is not None:
+            part += bias_col
+        if activation == "leaky_relu":
+            # max(x, slope*x) == leaky_relu(x) for slope in [0, 1), in place.
+            np.maximum(part, part * negative_slope, out=part)
+        elif activation == "relu":
+            np.maximum(part, 0.0, out=part)
+        elif activation == "tanh":
+            np.tanh(part, out=part)
+        if output_padding:
+            out[i, :, output_padding : output_padding + h_out, output_padding : output_padding + w_out] = (
+                part.reshape(c_out, h_out, w_out)
+            )
+    return out
 
 
 def conv_transpose2d(

@@ -222,6 +222,15 @@ class Conv2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
 
+    # -- fusion metadata ----------------------------------------------- #
+    def fusible_chain(self):
+        """A bare convolution is a one-step fused chain (no BN, no activation).
+
+        Consumed by :func:`repro.nn.fusion.compile_model`, which rewrites
+        declared chains into :class:`~repro.nn.fusion.FusedChain` kernels.
+        """
+        return [(self, None, None)]
+
 
 class ConvTranspose2d(Module):
     """2-D transposed convolution layer used by the image-reconstruction path."""
@@ -278,6 +287,20 @@ class BatchNorm2d(Module):
             eps=self.eps,
         )
 
+    # -- fusion metadata ----------------------------------------------- #
+    def fold_inference_affine(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eval-mode normalization as one per-channel affine ``x*scale + shift``.
+
+        Snapshot of the current running statistics, computed with the same
+        arithmetic as the eval branch of :func:`repro.nn.functional.batch_norm2d`;
+        :mod:`repro.nn.fusion` folds it into the preceding convolution's
+        weights and bias at compile time.
+        """
+        std = np.sqrt(self.running_var + self.eps)
+        scale = self.gamma.data / std
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift
+
 
 class AvgPool2d(Module):
     def __init__(self, kernel_size: int) -> None:
@@ -310,6 +333,10 @@ class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
+    def fusion_activation(self) -> tuple[str, float]:
+        """Fusion metadata: apply ReLU on the fused conv's output tile."""
+        return ("relu", 0.0)
+
 
 class LeakyReLU(Module):
     def __init__(self, negative_slope: float = 0.01) -> None:
@@ -318,6 +345,10 @@ class LeakyReLU(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x.leaky_relu(self.negative_slope)
+
+    def fusion_activation(self) -> tuple[str, float]:
+        """Fusion metadata: apply LeakyReLU on the fused conv's output tile."""
+        return ("leaky_relu", self.negative_slope)
 
 
 class Sigmoid(Module):
@@ -328,6 +359,10 @@ class Sigmoid(Module):
 class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
+
+    def fusion_activation(self) -> tuple[str, float]:
+        """Fusion metadata: apply tanh on the fused conv's output tile."""
+        return ("tanh", 0.0)
 
 
 class OptimizedFourierUnit(Module):

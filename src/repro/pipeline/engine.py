@@ -48,6 +48,12 @@ Two independent knobs control throughput:
   leave the knob at 0 there.  ``benchmarks/bench_pipeline_throughput.py``
   sweeps both knobs and writes the measured table to
   ``artifacts/results/pipeline_throughput.txt``.
+
+A third, orthogonal knob is ``compile`` — compile a model engine once into a
+fused inference graph (conv->BN->LeakyReLU folded into single passes with a
+pad-once buffer cache, :mod:`repro.nn.fusion`) and run every batch through
+it.  Fused execution is per-sample like the unfused hot path, so it composes
+with both knobs above and stays bit-identical across worker shardings.
 """
 
 from __future__ import annotations
@@ -126,6 +132,12 @@ class InferencePipeline:
     parallel:
         A prebuilt :class:`~repro.pipeline.parallel.ParallelConfig`; explicit
         ``num_workers``/``chunk_size`` arguments override its fields.
+    compile:
+        Compile a model engine once into a fused inference graph
+        (:func:`repro.nn.compile_model`: conv->BN->activation fusion with a
+        pad-once buffer cache) and run every batch through it.  Numerically
+        equivalent to the unfused path within 1e-12 (pinned by the
+        equivalence suite) and composes with ``num_workers`` sharding.
     """
 
     def __init__(
@@ -137,6 +149,7 @@ class InferencePipeline:
         num_workers: int | None = None,
         chunk_size: int | None = None,
         parallel: ParallelConfig | None = None,
+        compile: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -144,7 +157,8 @@ class InferencePipeline:
             num_workers = parallel.num_workers if num_workers is None else num_workers
             chunk_size = parallel.chunk_size if chunk_size is None else chunk_size
         parallel = ParallelConfig(num_workers=num_workers, chunk_size=chunk_size)
-        self.executor: Executor = as_executor(engine)
+        self.executor: Executor = as_executor(engine, compile=compile)
+        self.compiled = getattr(self.executor, "compiled", False)
         self.num_workers = parallel.resolved_workers()
         if self.num_workers > 1 and not isinstance(self.executor, WorkerPoolExecutor):
             self.executor = WorkerPoolExecutor(self.executor, config=parallel)

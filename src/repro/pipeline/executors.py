@@ -5,10 +5,15 @@ executor defines *how* one batch is run.  Two families exist:
 
 * :class:`ModelExecutor` wraps any :class:`repro.nn.Module`.  Forwards run
   under :func:`repro.nn.eval_mode` + ``no_grad`` so inference never clobbers
-  the caller's train/eval state.  When the wrapped model exposes the DOINN
-  path decomposition (``global_perception`` / ``local_perception`` /
-  ``reconstruction``), the executor also exposes the per-path hooks the
-  large-tile stitching plan needs (paper §3.2).
+  the caller's train/eval state.  With ``compile=True`` the model is compiled
+  once into a :class:`repro.nn.fusion.FusedInferenceGraph` (conv->BN->act
+  fusion + pad-once buffer cache) and every batch runs the fused graph; fused
+  execution stays per-sample, so it composes with
+  :class:`~repro.pipeline.parallel.WorkerPoolExecutor` sharding bit-for-bit.
+  When the wrapped model exposes the DOINN path decomposition
+  (``global_perception`` / ``local_perception`` / ``reconstruction``), the
+  executor also exposes the per-path hooks the large-tile stitching plan
+  needs (paper §3.2) — compiled or not.
 * :class:`SimulatorExecutor` wraps the golden :class:`LithoSimulator`.  It is
   size-agnostic (the Hopkins/SOCS model convolves masks of any size) and
   routes whole batches through the single-FFT aerial-image path, so the SOCS
@@ -27,7 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..litho.hopkins import AerialWorkspace
-from ..nn import Module, Tensor, eval_mode, no_grad
+from ..nn import FusedInferenceGraph, Module, Tensor, compile_model, eval_mode, no_grad
 
 __all__ = ["Executor", "ModelExecutor", "SimulatorExecutor", "as_executor"]
 
@@ -65,15 +70,27 @@ class ModelExecutor(Executor):
     #: Coarse per-sample activation width estimate used to size micro-batches.
     ACTIVATION_CHANNEL_ESTIMATE = 32
 
-    def __init__(self, model: Module) -> None:
+    def __init__(self, model: Module, compile: bool = False) -> None:
         if not isinstance(model, Module):
             raise TypeError(f"ModelExecutor expects an nn.Module, got {type(model).__name__}")
+        if isinstance(model, FusedInferenceGraph):
+            compile = True
+        elif compile:
+            model = compile_model(model)
         self.model = model
-        self.name = type(model).__name__
+        self.compiled = bool(compile)
+        base = model.source_name if isinstance(model, FusedInferenceGraph) else type(model).__name__
+        self.name = f"{base}[compiled]" if self.compiled else base
 
     def _micro_batch(self, height: int, width: int) -> int:
+        """Samples per micro-batch; never 0, however large the tile geometry.
+
+        A single sample whose activations exceed the whole budget (e.g. a
+        4096x4096 tile) must still run — the floor division is clamped to 1,
+        and a degenerate zero-area geometry cannot divide by zero.
+        """
         per_sample = self.ACTIVATION_CHANNEL_ESTIMATE * height * width * 8
-        return max(1, self.MICRO_BATCH_BUDGET_BYTES // per_sample)
+        return max(1, self.MICRO_BATCH_BUDGET_BYTES // max(per_sample, 1))
 
     @property
     def supports_stitching(self) -> bool:
@@ -147,13 +164,25 @@ class SimulatorExecutor(Executor):
         return self.simulator.resist.develop(aerial)[:, None]
 
 
-def as_executor(engine, output: str = "resist") -> Executor:
-    """Adapt a model, simulator or executor to the :class:`Executor` interface."""
+def as_executor(engine, output: str = "resist", compile: bool = False) -> Executor:
+    """Adapt a model, simulator or executor to the :class:`Executor` interface.
+
+    ``compile=True`` compiles a model engine into a fused inference graph
+    (see :func:`repro.nn.compile_model`); it is rejected for engines that have
+    no fused path rather than silently ignored.
+    """
     if isinstance(engine, Executor):
+        if compile:
+            raise ValueError(
+                "compile=True requires a raw model engine; wrap the model with "
+                "ModelExecutor(model, compile=True) before building executors"
+            )
         return engine
     if isinstance(engine, Module):
-        return ModelExecutor(engine)
+        return ModelExecutor(engine, compile=compile)
     if hasattr(engine, "aerial") and hasattr(engine, "resist"):
+        if compile:
+            raise ValueError("compile=True requires a model engine; the golden simulator has no fused path")
         return SimulatorExecutor(engine, output=output)
     raise TypeError(
         f"cannot build an executor from {type(engine).__name__}; expected an "

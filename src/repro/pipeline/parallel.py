@@ -192,6 +192,11 @@ class WorkerPoolExecutor(Executor):
     def pool_factor(self) -> int:
         return self.inner.pool_factor
 
+    @property
+    def compiled(self) -> bool:
+        """Whether the wrapped executor runs a compiled fused graph."""
+        return getattr(self.inner, "compiled", False)
+
     # -- executor interface -------------------------------------------- #
     def run_batch(self, batch: np.ndarray) -> np.ndarray:
         return self._run("run_batch", (batch,))

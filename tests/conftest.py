@@ -5,6 +5,43 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import create_model
+
+#: Tiny-but-representative configuration for every model in
+#: ``repro.core.registry`` — small enough that a full forward runs in
+#: milliseconds, large enough that every fusible chain (VGG blocks, strided
+#: LP convs, refine tail, output heads) is exercised.  Fusion, pipeline and
+#: parallel tests parametrize over these instead of hand-building models.
+TINY_MODEL_KWARGS: dict[str, dict] = {
+    "doinn": dict(image_size=32, gp_channels=4, lp_base_channels=2),
+    "unet": dict(image_size=32, base_channels=4, depth=2),
+    "damo-dls": dict(image_size=32, base_channels=4),
+    "fno": dict(image_size=32, width=4, modes=3, num_layers=2),
+}
+
+#: Input size every tiny model accepts (DOINN needs a multiple of the GP pool
+#: factor that also fits the retained frequency block).
+TINY_MODEL_SIZE = 32
+
+
+def build_tiny_model(name: str, **overrides):
+    """Build one registry model at its tiny test configuration."""
+    kwargs = dict(TINY_MODEL_KWARGS[name])
+    kwargs.update(overrides)
+    return create_model(name, **kwargs)
+
+
+@pytest.fixture(params=sorted(TINY_MODEL_KWARGS))
+def zoo_model(request):
+    """``(name, model)`` for every model in the registry, tiny configs."""
+    return request.param, build_tiny_model(request.param)
+
+
+@pytest.fixture(scope="session")
+def tiny_model_factory():
+    """Session-wide access to :func:`build_tiny_model` for module fixtures."""
+    return build_tiny_model
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

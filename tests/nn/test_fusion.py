@@ -1,0 +1,375 @@
+"""Equivalence suite for the fused inference graph compiler.
+
+The contract pinned here: for **every** model in the registry (and for every
+chain geometry the models use — odd sizes, stride/padding corners, batch
+sizes 1/2/4), the compiled fused graph produces the same outputs as the
+unfused eval path to within 1e-12, while the training path of the source
+model is left bit-for-bit untouched by compilation.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import DOINN, DOINNConfig
+from repro.core.paths import VGGBlock
+from repro.nn import (
+    BatchNorm2d,
+    CompiledChain,
+    Conv2d,
+    FusedInferenceGraph,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    compile_model,
+    eval_mode,
+    no_grad,
+)
+from repro.nn import functional as F
+from repro.nn.fusion import FusedConvBNAct, build_chain
+
+TOL = dict(rtol=1e-12, atol=1e-12)
+
+
+def _eval_forward(model, x: np.ndarray) -> np.ndarray:
+    with eval_mode(model), no_grad():
+        return model(Tensor(x)).numpy()
+
+
+def _randomize_bn(bn: BatchNorm2d, rng: np.random.Generator) -> None:
+    """Non-trivial eval statistics so the fold is actually exercised."""
+    bn.gamma.data = rng.uniform(0.5, 1.5, bn.num_features)
+    bn.beta.data = rng.uniform(-0.5, 0.5, bn.num_features)
+    bn.running_mean[...] = rng.uniform(-1.0, 1.0, bn.num_features)
+    bn.running_var[...] = rng.uniform(0.25, 2.0, bn.num_features)
+
+
+# --------------------------------------------------------------------- #
+# conv_bn_act kernel vs the unfused three-pass path
+# --------------------------------------------------------------------- #
+# (kernel, stride, padding, activation) — stride/padding corners plus every
+# activation the fused graphs emit.
+_KERNEL_CONFIGS = [
+    (3, 1, 1, "leaky_relu"),
+    (3, 1, 0, "relu"),
+    (4, 2, 1, "leaky_relu"),
+    (3, 2, 0, "tanh"),
+    (1, 1, 0, "identity"),
+    (2, 2, 1, "relu"),
+]
+
+
+@pytest.mark.parametrize("k,stride,padding,activation", _KERNEL_CONFIGS)
+@pytest.mark.parametrize("size", [(9, 9), (11, 7)])  # odd / rectangular sizes
+def test_conv_bn_act_matches_unfused_passes(rng, k, stride, padding, activation, size):
+    h, w = size
+    x = rng.standard_normal((2, 3, h, w))
+    conv = Conv2d(3, 5, k, stride=stride, padding=padding, rng=rng)
+    bn = BatchNorm2d(5)
+    _randomize_bn(bn, rng)
+    act = {"leaky_relu": LeakyReLU(0.2), "relu": ReLU(), "tanh": Tanh(), "identity": None}[activation]
+
+    op = FusedConvBNAct.from_modules(conv, bn, act)
+    fused = F.conv_bn_act(
+        x, op.weight, op.bias, stride=stride, padding=padding,
+        activation=op.activation, negative_slope=op.negative_slope,
+    )
+
+    with eval_mode(bn), no_grad():
+        ref = bn(F.conv2d(Tensor(x), conv.weight, conv.bias, stride=stride, padding=padding))
+        if act is not None:
+            ref = act(ref)
+    np.testing.assert_allclose(fused, ref.numpy(), **TOL)
+
+
+@pytest.mark.parametrize("batch", [1, 2, 4])
+def test_conv_bn_act_without_bn_matches_conv2d(rng, batch):
+    x = rng.standard_normal((batch, 2, 13, 13))
+    conv = Conv2d(2, 4, 3, stride=1, padding=1, rng=rng)
+    fused = F.conv_bn_act(x, conv.weight.data, conv.bias.data, stride=1, padding=1)
+    with no_grad():
+        ref = F.conv2d(Tensor(x), conv.weight, conv.bias, stride=1, padding=1).numpy()
+    np.testing.assert_allclose(fused, ref, **TOL)
+
+
+def test_conv_bn_act_output_padding_emits_zero_border(rng):
+    x = rng.standard_normal((2, 3, 8, 8))
+    w = rng.standard_normal((4, 3, 3, 3))
+    plain = F.conv_bn_act(x, w, None, stride=1, padding=1)
+    padded = F.conv_bn_act(x, w, None, stride=1, padding=1, output_padding=2)
+    assert padded.shape == (2, 4, 12, 12)
+    np.testing.assert_array_equal(padded[:, :, 2:-2, 2:-2], plain)
+    border = padded.copy()
+    border[:, :, 2:-2, 2:-2] = 0.0
+    assert not border.any()
+
+
+def test_conv_bn_act_consumes_prepadded_input(rng):
+    """input_is_padded skips the pad: op B reads op A's padded emission."""
+    x = rng.standard_normal((1, 2, 10, 10))
+    w1 = rng.standard_normal((3, 2, 3, 3))
+    w2 = rng.standard_normal((5, 3, 3, 3))
+    mid_padded = F.conv_bn_act(x, w1, None, stride=1, padding=1, output_padding=1)
+    chained = F.conv_bn_act(mid_padded, w2, None, stride=1, padding=1, input_is_padded=True)
+    mid = F.conv_bn_act(x, w1, None, stride=1, padding=1)
+    ref = F.conv_bn_act(mid, w2, None, stride=1, padding=1)
+    np.testing.assert_array_equal(chained, ref)
+
+
+def test_conv_bn_act_validates_arguments(rng):
+    x = rng.standard_normal((1, 2, 6, 6))
+    w = rng.standard_normal((3, 2, 3, 3))
+    with pytest.raises(ValueError, match="activation"):
+        F.conv_bn_act(x, w, activation="softmax")
+    with pytest.raises(ValueError, match="negative_slope"):
+        F.conv_bn_act(x, w, activation="leaky_relu", negative_slope=1.5)
+    with pytest.raises(ValueError, match="channels"):
+        F.conv_bn_act(x, rng.standard_normal((3, 4, 3, 3)))
+    with pytest.raises(ValueError, match="out buffer"):
+        F.conv_bn_act(x, w, padding=1, out=np.zeros((1, 3, 4, 4)))
+
+
+def test_fold_inference_affine_matches_eval_batchnorm(rng):
+    bn = BatchNorm2d(4)
+    _randomize_bn(bn, rng)
+    x = rng.standard_normal((2, 4, 5, 5))
+    scale, shift = bn.fold_inference_affine()
+    with eval_mode(bn), no_grad():
+        ref = bn(Tensor(x)).numpy()
+    np.testing.assert_allclose(
+        x * scale.reshape(1, 4, 1, 1) + shift.reshape(1, 4, 1, 1), ref, **TOL
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fused chains (pad-once buffer cache)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("size", [(8, 8), (9, 13), (17, 5)])
+@pytest.mark.parametrize("batch", [1, 2, 4])
+def test_vgg_chain_matches_block(rng, size, batch):
+    block = VGGBlock(2, 4, rng=rng)
+    _randomize_bn(block.bn1, rng)
+    _randomize_bn(block.bn2, rng)
+    x = rng.standard_normal((batch, 2, *size))
+    chain = build_chain(block.fusible_chain(), label="vgg")
+    np.testing.assert_allclose(chain.run(x), _eval_forward(block, x), **TOL)
+
+
+def test_fused_chain_scratch_buffers_are_reused(rng):
+    block = VGGBlock(2, 3, rng=rng)
+    chain = build_chain(block.fusible_chain())
+    x = rng.standard_normal((2, 2, 8, 8))
+    first = chain.run(x)
+    buffers = {key: id(buf) for key, buf in chain._scratch.items()}
+    assert buffers  # the pad-once cache is in use
+    second = chain.run(x)
+    assert {key: id(buf) for key, buf in chain._scratch.items()} == buffers
+    np.testing.assert_array_equal(first, second)
+    assert first is not second  # the caller-facing output is always fresh
+
+
+def test_fused_chain_scratch_cache_is_bounded(rng):
+    """Many distinct geometries cannot grow the buffer cache without bound."""
+    block = VGGBlock(2, 3, rng=rng)
+    chain = build_chain(block.fusible_chain())
+    for size in range(8, 8 + chain.MAX_CACHED_BUFFERS):
+        x = rng.standard_normal((1, 2, size, size))
+        np.testing.assert_allclose(chain.run(x), _eval_forward(block, x), **TOL)
+    assert len(chain._scratch) <= chain.MAX_CACHED_BUFFERS
+    # And the reset does not corrupt results for a geometry seen before.
+    x = rng.standard_normal((1, 2, 8, 8))
+    np.testing.assert_allclose(chain.run(x), _eval_forward(block, x), **TOL)
+
+
+def test_fused_chain_pickles_without_scratch(rng):
+    block = VGGBlock(2, 3, rng=rng)
+    chain = build_chain(block.fusible_chain())
+    x = rng.standard_normal((1, 2, 8, 8))
+    expected = chain.run(x)
+    clone = pickle.loads(pickle.dumps(chain))
+    assert clone._scratch == {}
+    np.testing.assert_array_equal(clone.run(x), expected)
+
+
+def test_sequential_fusion_merges_conv_runs(rng):
+    net = Sequential(
+        Conv2d(1, 3, 3, padding=1, rng=rng),
+        BatchNorm2d(3),
+        LeakyReLU(0.2),
+        Conv2d(3, 3, 3, padding=1, rng=rng),
+        BatchNorm2d(3),
+        ReLU(),
+        Conv2d(3, 1, 1, rng=rng),
+        Tanh(),
+    )
+    for module in net:
+        if isinstance(module, BatchNorm2d):
+            _randomize_bn(module, rng)
+    x = rng.standard_normal((2, 1, 11, 11))
+    graph = compile_model(net)
+    # The whole Sequential collapses to one fused chain of three conv ops.
+    assert len(graph.chains) == 1
+    assert graph.num_fused_ops == 3
+    compiled_children = list(graph.module)
+    assert isinstance(compiled_children[0], CompiledChain)
+    assert all(isinstance(m, Identity) for m in compiled_children[1:])
+    with no_grad():
+        np.testing.assert_allclose(graph(Tensor(x)).numpy(), _eval_forward(net, x), **TOL)
+
+
+def test_sequential_fusion_stops_at_unfusible_modules(rng):
+    net = Sequential(
+        Conv2d(1, 2, 3, padding=1, rng=rng),
+        Sigmoid(),  # no fusion metadata: breaks the run
+        Conv2d(2, 1, 3, padding=1, rng=rng),
+    )
+    x = rng.standard_normal((1, 1, 9, 9))
+    graph = compile_model(net)
+    assert len(graph.chains) == 2  # two single-conv chains around the sigmoid
+    assert isinstance(list(graph.module)[1], Sigmoid)
+    with no_grad():
+        np.testing.assert_allclose(graph(Tensor(x)).numpy(), _eval_forward(net, x), **TOL)
+
+
+# --------------------------------------------------------------------- #
+# Whole-model compilation: every registry model
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("batch", [1, 2, 4])
+def test_compiled_model_matches_eval_forward(zoo_model, rng, batch):
+    name, model = zoo_model
+    x = rng.random((batch, 1, 32, 32))
+    graph = compile_model(model)
+    with no_grad():
+        fused = graph(Tensor(x)).numpy()
+    np.testing.assert_allclose(fused, _eval_forward(model, x), **TOL)
+
+
+def test_compiled_model_declares_fused_chains(zoo_model):
+    name, model = zoo_model
+    graph = compile_model(model)
+    assert isinstance(graph, FusedInferenceGraph)
+    assert graph.source_name == type(model).__name__
+    assert len(graph.chains) > 0, f"{name} declared no fusible chains"
+    assert graph.num_fused_ops >= len(graph.chains)
+
+
+def test_compile_is_idempotent(tiny_model_factory):
+    graph = compile_model(tiny_model_factory("unet"))
+    assert compile_model(graph) is graph
+    with pytest.raises(TypeError):
+        compile_model(object())
+
+
+@pytest.mark.parametrize("row", [1, 2, 3, 4])
+def test_doinn_ablation_rows_compile(rng, row):
+    """The Table 3 ablations cover use_lp/use_skips/use_refine corners."""
+    model = DOINN(DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2).ablation(row))
+    x = rng.random((2, 1, 32, 32))
+    graph = compile_model(model)
+    with no_grad():
+        np.testing.assert_allclose(graph(Tensor(x)).numpy(), _eval_forward(model, x), **TOL)
+
+
+def test_compiled_graph_proxies_doinn_stitching_hooks(tiny_model_factory):
+    graph = compile_model(tiny_model_factory("doinn"))
+    assert graph.config.pool_factor == 8
+    assert graph.global_perception is graph.module.global_perception
+    assert graph.reconstruction is graph.module.reconstruction
+    unet_graph = compile_model(tiny_model_factory("unet"))
+    assert not hasattr(unet_graph, "global_perception")
+
+
+def test_compiled_model_pickle_round_trip(tiny_model_factory, rng):
+    graph = compile_model(tiny_model_factory("damo-dls"))
+    x = rng.random((2, 1, 32, 32))
+    clone = pickle.loads(pickle.dumps(graph))
+    with no_grad():
+        np.testing.assert_array_equal(clone(Tensor(x)).numpy(), graph(Tensor(x)).numpy())
+
+
+# --------------------------------------------------------------------- #
+# Inference-only guards
+# --------------------------------------------------------------------- #
+def test_compiled_graph_rejects_training_mode(tiny_model_factory, rng):
+    graph = compile_model(tiny_model_factory("unet"))
+    graph.train()
+    with pytest.raises(RuntimeError, match="eval mode"), no_grad():
+        graph(Tensor(rng.random((1, 1, 32, 32))))
+    graph.eval()
+    with no_grad():
+        graph(Tensor(rng.random((1, 1, 32, 32))))  # recovers after .eval()
+
+
+def test_compiled_graph_rejects_autograd_inputs(tiny_model_factory, rng):
+    graph = compile_model(tiny_model_factory("fno"))
+    x = Tensor(rng.random((1, 1, 32, 32)), requires_grad=True)
+    with pytest.raises(RuntimeError, match="autograd"):
+        graph(x)
+    with no_grad():
+        graph(x)  # fine once gradient tracking is off
+
+
+# --------------------------------------------------------------------- #
+# The source model is untouched (gradient pins, state-dict round trips)
+# --------------------------------------------------------------------- #
+def test_compile_does_not_mutate_source_model(zoo_model, rng):
+    name, model = zoo_model
+    x = rng.random((2, 1, 32, 32))
+    before_state = model.state_dict()
+    before_out = _eval_forward(model, x)
+    before_training = [m.training for m in model.modules()]
+    compile_model(model)
+    assert [m.training for m in model.modules()] == before_training
+    after_state = model.state_dict()
+    assert before_state.keys() == after_state.keys()
+    for key in before_state:
+        np.testing.assert_array_equal(before_state[key], after_state[key])
+    np.testing.assert_array_equal(_eval_forward(model, x), before_out)
+
+
+def test_training_gradients_unchanged_by_compile(zoo_model, tiny_model_factory, rng):
+    """Gradient pin: compiling a model must not alter its training path."""
+    name, model = zoo_model
+    twin = tiny_model_factory(name)  # bit-identical twin (same seed)
+    compile_model(model)
+    x = rng.random((2, 1, 32, 32))
+    grads = {}
+    for tag, net in (("compiled-source", model), ("twin", twin)):
+        net.train()
+        out = net(Tensor(x.copy()))
+        out.backward(np.ones(out.shape))
+        grads[tag] = {p_name: p.grad.copy() for p_name, p in net.named_parameters()}
+        net.zero_grad()
+    assert grads["compiled-source"].keys() == grads["twin"].keys()
+    for p_name, grad in grads["compiled-source"].items():
+        np.testing.assert_array_equal(grad, grads["twin"][p_name], err_msg=p_name)
+
+
+def test_bn_buffers_survive_compile_and_state_dict_round_trip(tiny_model_factory, rng):
+    """Satellite: running statistics are intact through compile -> state_dict
+    -> load_state_dict, and a recompile of the restored weights matches."""
+    model = tiny_model_factory("unet")
+    model.train()
+    for _ in range(3):  # move the running statistics off their init values
+        model(Tensor(rng.random((2, 1, 32, 32))))
+    state = model.state_dict()
+    graph = compile_model(model)
+
+    restored = tiny_model_factory("unet")
+    restored.load_state_dict(state)
+    for (name_a, buf_a), (name_b, buf_b) in zip(model.named_buffers(), restored.named_buffers()):
+        assert name_a == name_b
+        np.testing.assert_array_equal(buf_a, buf_b, err_msg=name_a)
+
+    x = rng.random((2, 1, 32, 32))
+    with no_grad():
+        np.testing.assert_array_equal(
+            compile_model(restored)(Tensor(x)).numpy(), graph(Tensor(x)).numpy()
+        )

@@ -52,6 +52,50 @@ def test_train_eval_propagates():
     assert all(m.training for m in net.modules())
 
 
+def test_eval_mode_nesting_restores_each_level():
+    """eval_mode inside eval_mode restores the right state at each exit."""
+    from repro.nn import eval_mode
+
+    net = Sequential(Conv2d(1, 2, 3), BatchNorm2d(2), LeakyReLU())
+    net.train()
+    with eval_mode(net):
+        assert all(not m.training for m in net.modules())
+        with eval_mode(net):
+            assert all(not m.training for m in net.modules())
+        # Inner exit restores its prior — which was already eval, not train.
+        assert all(not m.training for m in net.modules())
+    assert all(m.training for m in net.modules())
+
+
+def test_eval_mode_nesting_restores_mixed_state():
+    """Per-module flags survive nesting, even when they disagree."""
+    from repro.nn import eval_mode
+
+    net = Sequential(Conv2d(1, 2, 3), BatchNorm2d(2))
+    net.eval()
+    first = getattr(net, net._order[0])
+    first.training = True  # mixed: one child trains, the rest are eval
+    snapshot = [m.training for m in net.modules()]
+    with eval_mode(net):
+        assert all(not m.training for m in net.modules())
+        with eval_mode(net):
+            pass
+        assert all(not m.training for m in net.modules())
+    assert [m.training for m in net.modules()] == snapshot
+
+
+def test_eval_mode_restores_on_exception():
+    from repro.nn import eval_mode
+
+    net = Sequential(Conv2d(1, 1, 3), BatchNorm2d(1))
+    net.train()
+    with pytest.raises(RuntimeError, match="boom"):
+        with eval_mode(net):
+            with eval_mode(net):
+                raise RuntimeError("boom")
+    assert all(m.training for m in net.modules())
+
+
 def test_zero_grad_clears_gradients(rng):
     conv = Conv2d(1, 1, 3, padding=1)
     out = conv(Tensor(rng.standard_normal((1, 1, 4, 4))))

@@ -1,0 +1,161 @@
+"""Compiled-executor coverage: ``ModelExecutor(compile=True)`` end to end.
+
+Pins the pipeline-level contracts of the fusion compiler: a compiled engine
+is numerically equivalent to the unfused executor (<= 1e-12) on the native
+and stitched plans, is *bit*-identical across micro-batch splits and worker
+shardings (the partition-invariance that makes pooled execution exact), and
+composes with every pipeline knob.  Also holds the micro-batch >= 1
+regression guard for very large tile geometries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.litho import LithoSimulator
+from repro.nn import FusedInferenceGraph, compile_model
+from repro.pipeline import (
+    InferencePipeline,
+    ModelExecutor,
+    WorkerPoolExecutor,
+    as_executor,
+)
+
+TOL = dict(rtol=1e-12, atol=1e-12)
+
+
+@pytest.fixture(scope="module")
+def model(tiny_model_factory):
+    return tiny_model_factory("doinn")
+
+
+def _random_masks(n: int, size: int, seed: int = 17) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, size, size)) > 0.8).astype(float)
+
+
+# --------------------------------------------------------------------- #
+# Executor-level compile flag
+# --------------------------------------------------------------------- #
+def test_model_executor_compile_equivalence(zoo_model):
+    name, model = zoo_model
+    batch = _random_masks(3, 32)[:, None]
+    plain = ModelExecutor(model)
+    fused = ModelExecutor(model, compile=True)
+    assert not plain.compiled
+    assert fused.compiled
+    assert fused.name == f"{type(model).__name__}[compiled]"
+    assert isinstance(fused.model, FusedInferenceGraph)
+    np.testing.assert_allclose(fused.run_batch(batch), plain.run_batch(batch), **TOL)
+
+
+def test_model_executor_accepts_precompiled_graph(model):
+    graph = compile_model(model)
+    executor = ModelExecutor(graph)
+    assert executor.compiled
+    assert executor.name == "DOINN[compiled]"
+    assert executor.model is graph
+
+
+def test_compiled_executor_is_partition_invariant(model):
+    """Micro-batch splits and shard boundaries cannot change a single bit."""
+    masks = _random_masks(5, 32)[:, None]
+    executor = ModelExecutor(model, compile=True)
+    whole = executor.run_batch(masks)
+    singles = np.concatenate([executor.run_batch(masks[i : i + 1]) for i in range(5)])
+    np.testing.assert_array_equal(whole, singles)
+
+
+def test_compiled_executor_keeps_stitching_hooks(model):
+    plain = ModelExecutor(model)
+    fused = ModelExecutor(model, compile=True)
+    assert fused.supports_stitching
+    assert fused.pool_factor == plain.pool_factor == 8
+    tiles = _random_masks(4, 32)
+    np.testing.assert_allclose(fused.run_gp(tiles[:, None]), plain.run_gp(tiles[:, None]), **TOL)
+
+
+def test_as_executor_compile_validation(model):
+    simulator = LithoSimulator(pixel_size=16.0, num_kernels=6, kernel_support=31)
+    assert as_executor(model, compile=True).compiled
+    with pytest.raises(ValueError, match="golden simulator"):
+        as_executor(simulator, compile=True)
+    with pytest.raises(ValueError, match="raw model engine"):
+        as_executor(ModelExecutor(model), compile=True)
+
+
+# --------------------------------------------------------------------- #
+# Pipeline-level compile knob
+# --------------------------------------------------------------------- #
+def test_pipeline_compile_knob_equivalence(zoo_model):
+    name, model = zoo_model
+    masks = _random_masks(4, 32)
+    plain = InferencePipeline(model, batch_size=2)
+    fused = InferencePipeline(model, batch_size=2, compile=True)
+    assert fused.compiled and not plain.compiled
+    np.testing.assert_allclose(fused.predict(masks), plain.predict(masks), **TOL)
+
+
+def test_compiled_stitched_plan_matches_unfused(model):
+    masks = _random_masks(2, 64, seed=5)
+    kwargs = dict(tile_size=32, batch_size=4, optical_diameter_pixels=8)
+    plain = InferencePipeline(model, **kwargs)
+    fused = InferencePipeline(model, compile=True, **kwargs)
+    assert fused.run(masks).stats.mode == "stitched"
+    np.testing.assert_allclose(
+        fused.predict(masks, stitch=True), plain.predict(masks, stitch=True), **TOL
+    )
+
+
+def test_compiled_pipeline_reports_compiled_engine_in_stats(model):
+    pipeline = InferencePipeline(model, compile=True)
+    result = pipeline.run(_random_masks(2, 32))
+    assert result.stats.engine == "DOINN[compiled]"
+
+
+def test_pipeline_compile_rejects_simulator_engines():
+    simulator = LithoSimulator(pixel_size=16.0, num_kernels=6, kernel_support=31)
+    with pytest.raises(ValueError, match="golden simulator"):
+        InferencePipeline(simulator, compile=True)
+
+
+# --------------------------------------------------------------------- #
+# Composition with the worker pool
+# --------------------------------------------------------------------- #
+def test_compiled_composes_with_worker_pool(model):
+    masks = _random_masks(6, 32)
+    serial = InferencePipeline(model, batch_size=4, compile=True)
+    reference = serial.predict(masks)
+    with InferencePipeline(model, batch_size=4, num_workers=2, compile=True) as parallel:
+        assert isinstance(parallel.executor, WorkerPoolExecutor)
+        assert parallel.compiled and parallel.executor.compiled
+        assert "[compiled]" in parallel.name and "workers=2" in parallel.name
+        np.testing.assert_array_equal(parallel.predict(masks), reference)
+
+
+def test_compiled_stitched_worker_pool_bit_identical(model):
+    masks = _random_masks(2, 64, seed=9)
+    kwargs = dict(tile_size=32, batch_size=4, optical_diameter_pixels=8, compile=True)
+    serial = InferencePipeline(model, **kwargs)
+    with InferencePipeline(model, num_workers=2, **kwargs) as parallel:
+        np.testing.assert_array_equal(
+            parallel.predict(masks, stitch=True), serial.predict(masks, stitch=True)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Micro-batch sizing regression (satellite)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("height,width", [(64, 64), (512, 512), (4096, 4096), (16384, 16384)])
+def test_micro_batch_is_never_zero(model, height, width):
+    """A tile whose activations exceed the whole cache budget still runs."""
+    executor = ModelExecutor(model)
+    micro = executor._micro_batch(height, width)
+    assert micro >= 1
+    if height >= 4096:
+        assert micro == 1  # budget exceeded: exactly one sample at a time
+
+
+def test_micro_batch_degenerate_geometry_does_not_divide_by_zero(model):
+    assert ModelExecutor(model)._micro_batch(0, 0) >= 1

@@ -18,7 +18,6 @@ import os
 import numpy as np
 import pytest
 
-from repro.core import DOINN, DOINNConfig
 from repro.litho import LithoSimulator
 from repro.nn import Tensor
 from repro.nn import functional as F
@@ -35,8 +34,8 @@ from repro.pipeline.executors import Executor
 
 
 @pytest.fixture(scope="module")
-def model() -> DOINN:
-    return DOINN(DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2))
+def model(tiny_model_factory):
+    return tiny_model_factory("doinn")
 
 
 @pytest.fixture(scope="module")
@@ -163,6 +162,51 @@ def test_worker_pool_proxies_capabilities(model, simulator):
     sim_wrapped = WorkerPoolExecutor(simulator, num_workers=2)
     assert sim_wrapped.arbitrary_size
     assert not sim_wrapped.supports_stitching
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle: close() idempotency, context-manager re-entry (PR 2 edges)
+# --------------------------------------------------------------------- #
+def test_worker_pool_close_is_idempotent(model):
+    masks = _random_masks(4, 32)
+    executor = WorkerPoolExecutor(model, num_workers=2)
+    reference = executor.run_batch(masks[:, None])
+    assert executor._pool is not None
+    executor.close()
+    assert executor._pool is None
+    executor.close()  # second close is a no-op, not an error
+    assert executor._pool is None
+    # The pool respawns transparently on the next run, with the same results.
+    np.testing.assert_array_equal(executor.run_batch(masks[:, None]), reference)
+    executor.close()
+    executor.close()
+
+
+def test_pipeline_context_manager_reentry(model):
+    masks = _random_masks(4, 32)
+    pipeline = InferencePipeline(model, batch_size=2, num_workers=2)
+    with pipeline as entered:
+        assert entered is pipeline
+        first = pipeline.predict(masks)
+        assert pipeline.executor._pool is not None
+    assert pipeline.executor._pool is None  # exit closed the pool
+    with pipeline:  # re-entry after close respawns it
+        second = pipeline.predict(masks)
+        assert pipeline.executor._pool is not None
+    assert pipeline.executor._pool is None
+    np.testing.assert_array_equal(first, second)
+
+
+def test_serial_pipeline_close_and_reentry_are_noops(model):
+    masks = _random_masks(2, 32)
+    pipeline = InferencePipeline(model, batch_size=2)
+    with pipeline:
+        first = pipeline.predict(masks)
+    pipeline.close()
+    pipeline.close()
+    with pipeline:
+        second = pipeline.predict(masks)
+    np.testing.assert_array_equal(first, second)
 
 
 # --------------------------------------------------------------------- #

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import DOINN, DOINNConfig, LargeTileSimulator
+from repro.core import DOINN, LargeTileSimulator
 from repro.layout.tiling import TileSpec, extract_tiles, stitch_cores
 from repro.litho import LithoSimulator
 from repro.nn import Tensor, no_grad
@@ -27,8 +27,8 @@ from repro.pipeline import (
 
 
 @pytest.fixture(scope="module")
-def model() -> DOINN:
-    return DOINN(DOINNConfig(gp_channels=4, lp_base_channels=2, modes=2))
+def model(tiny_model_factory) -> DOINN:
+    return tiny_model_factory("doinn")
 
 
 @pytest.fixture(scope="module")
