@@ -8,10 +8,15 @@ Table 4 row "DOINN") and with the half-overlapping large-tile scheme
 tile forwards across the whole large-tile set, and stitches the cores back.
 
 Run with:  python examples/large_tile_simulation.py [--num-workers N] [--compile]
+           [--per-call-shm] [--no-shard-tiles]
 
 ``--num-workers`` shards the pipeline's tile batches across a worker pool
 (see :mod:`repro.pipeline.parallel`); predictions are bit-identical to the
 serial path, so the tables below do not change — only the wall time does.
+A pooled run streams through a persistent shared-memory ring and shards the
+tiles of each large mask across all workers by default; ``--per-call-shm``
+restores the PR 2 per-call segment transport and ``--no-shard-tiles`` the
+batch-size-chunked GP loop (both for A/B timing — outputs are identical).
 ``--compile`` runs the trained model as a fused inference graph
 (:mod:`repro.nn.fusion`: conv->BN->LeakyReLU folded into single passes with a
 pad-once buffer cache) — numerically equivalent within 1e-12, and typically
@@ -44,6 +49,16 @@ def main() -> None:
         action="store_true",
         help="compile the model into a fused inference graph (conv+BN+act fusion)",
     )
+    parser.add_argument(
+        "--per-call-shm",
+        action="store_true",
+        help="disable the persistent shared-memory ring (per-call segments, PR 2 transport)",
+    )
+    parser.add_argument(
+        "--no-shard-tiles",
+        action="store_true",
+        help="disable intra-mask tile sharding on the stitched plan",
+    )
     args = parser.parse_args()
     seed_everything(1)
     simulator = LithoSimulator(pixel_size=16.0)
@@ -67,16 +82,23 @@ def main() -> None:
         optical_diameter_pixels=simulator.optical_diameter_pixels,
         num_workers=args.num_workers,
         compile=args.compile,
+        streaming=False if args.per_call_shm else None,
+        shard_tiles=False if args.no_shard_tiles else None,
     )
     if args.compile:
         executor = getattr(pipeline.executor, "inner", pipeline.executor)
         print(f"Compiled inference: {pipeline.name} ({executor.model.num_fused_ops} fused ops)")
+    if pipeline.num_workers > 1:
+        transport = "persistent shm ring" if pipeline.streaming else "per-call shm segments"
+        print(f"Worker pool: {pipeline.num_workers} workers, {transport}")
     naive = pipeline.predict_naive(large.masks)
     result = pipeline.run(large.masks, stitch=True)
     pipeline.close()
     print(
         f"  stitched plan: {result.stats.num_tiles} GP tiles in "
-        f"{result.stats.num_batches} batches, {result.stats.seconds:.2f} s"
+        f"{result.stats.num_batches} batches"
+        f"{' (intra-mask sharded)' if result.stats.sharded_tiles else ''}, "
+        f"{result.stats.seconds:.2f} s"
     )
 
     naive_score = evaluate_predictions(naive, large.resists)

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 suite plus an explicit pass over the fusion
-# equivalence suites (every registry model, fused vs unfused, <= 1e-12).
+# CI entry point: the tier-1 suite, an explicit pass over the fusion
+# equivalence suites (every registry model, fused vs unfused, <= 1e-12), an
+# explicit pass over the streaming + parallel worker-pool suites (persistent
+# shm ring, per-call transport, intra-mask sharding — all bit-identical to
+# serial), and a final check that no stale shared-memory segments survived.
 # Runs with -p no:cacheprovider so repeated CI invocations on read-only or
 # shared checkouts never write .pytest_cache state.
 #
@@ -10,13 +13,43 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-# The two stages partition the tier-1 suite (no test runs twice): everything
-# except the fusion files first, then the equivalence suite as its own
-# visibly-labelled gate.
+# The stages partition the tier-1 suite (no test runs twice): everything
+# except the fusion and streaming/parallel files first, then each suite as
+# its own visibly-labelled gate.
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider tests \
-    --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py "$@"
+    --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py \
+    --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py "$@"
 
 echo "== fusion equivalence suite (compiled == unfused for the whole zoo) =="
 python -m pytest -x -q -p no:cacheprovider \
     tests/nn/test_fusion.py tests/pipeline/test_compiled_pipeline.py "$@"
+
+echo "== streaming + parallel worker-pool suites (pooled == serial, bit for bit) =="
+python -m pytest -x -q -p no:cacheprovider \
+    tests/pipeline/test_parallel.py tests/pipeline/test_streaming.py "$@"
+
+# The whole run must leave /dev/shm clean: every pipeline segment is named
+# repro_<pid>_<token> and owned by the registry in repro.pipeline.streaming.
+# A segment whose owning pid is still alive belongs to a concurrent run (a
+# live persistent ring is by design); only segments of dead processes are
+# leaks, which keeps the gate race-free on shared runners.
+echo "== /dev/shm leak check =="
+if [ -d /dev/shm ]; then
+    leftovers=""
+    for seg in /dev/shm/repro_*; do
+        [ -e "${seg}" ] || continue
+        name=$(basename "${seg}")
+        pid=$(echo "${name}" | cut -d_ -f2)
+        if ! kill -0 "${pid}" 2>/dev/null; then
+            leftovers="${leftovers}${name} "
+        fi
+    done
+    if [ -n "${leftovers}" ]; then
+        echo "stale repro shared-memory segments (owners dead): ${leftovers}" >&2
+        exit 1
+    fi
+    echo "clean"
+else
+    echo "skipped (/dev/shm not present)"
+fi

@@ -14,8 +14,8 @@ export REPRO_PROFILE="${REPRO_PROFILE:-quick}"
 echo "== tier-1 tests =="
 python -m pytest -x -q tests "$@"
 
-echo "== parallel worker-pool tests =="
-python -m pytest -x -q tests/pipeline/test_parallel.py "$@"
+echo "== streaming + parallel worker-pool tests =="
+python -m pytest -x -q tests/pipeline/test_parallel.py tests/pipeline/test_streaming.py "$@"
 
 echo "== pipeline throughput bench (quick profile) =="
 python -m pytest -x -q benchmarks/bench_pipeline_throughput.py "$@"

@@ -135,28 +135,44 @@ def measure_model_throughput(
     warmup: int = 1,
     batch_size: int = 1,
     num_workers: int | None = None,
+    streaming: bool | None = None,
 ) -> ThroughputResult:
     """Measure inference throughput of a learned model on one mask tile.
 
     ``batch_size`` controls how many tiles are executed per forward: 1 is the
     seed per-tile configuration; larger values report batched throughput
     (Figure 6's deployment scenario).  ``num_workers`` shards those batches
-    across a worker pool (ignored when an already-built pipeline is passed).
+    across a worker pool and ``streaming`` selects the persistent
+    shared-memory ring vs the per-call transport (both ignored when an
+    already-built pipeline is passed).  A repeated-measurement loop is
+    exactly the workload the streaming ring accelerates: every ``run_once``
+    after the first reuses the mapped segments.
     """
-    pipeline = (
-        model
-        if isinstance(model, InferencePipeline)
-        else InferencePipeline(model, batch_size=batch_size, num_workers=num_workers)
-    )
-    return measure_pipeline_throughput(
-        pipeline,
-        mask,
-        pixel_size,
-        name=name or type(model).__name__,
-        repeats=repeats,
-        warmup=warmup,
-        batch_size=batch_size,
-    )
+    if isinstance(model, InferencePipeline):
+        return measure_pipeline_throughput(
+            model,
+            mask,
+            pixel_size,
+            name=name or type(model).__name__,
+            repeats=repeats,
+            warmup=warmup,
+            batch_size=batch_size,
+        )
+    # The pipeline is built for this measurement only: release its worker
+    # pool and ring segments on the way out instead of stranding them until
+    # interpreter exit.
+    with InferencePipeline(
+        model, batch_size=batch_size, num_workers=num_workers, streaming=streaming
+    ) as pipeline:
+        return measure_pipeline_throughput(
+            pipeline,
+            mask,
+            pixel_size,
+            name=name or type(model).__name__,
+            repeats=repeats,
+            warmup=warmup,
+            batch_size=batch_size,
+        )
 
 
 def measure_simulator_throughput(
@@ -167,15 +183,18 @@ def measure_simulator_throughput(
     warmup: int = 1,
     batch_size: int = 1,
     num_workers: int | None = None,
+    streaming: bool | None = None,
 ) -> ThroughputResult:
     """Measure throughput of the golden lithography simulator on one mask tile."""
-    pipeline = InferencePipeline(simulator, batch_size=batch_size, num_workers=num_workers)
-    return measure_pipeline_throughput(
-        pipeline,
-        mask,
-        simulator.pixel_size,
-        name=name,
-        repeats=repeats,
-        warmup=warmup,
-        batch_size=batch_size,
-    )
+    with InferencePipeline(
+        simulator, batch_size=batch_size, num_workers=num_workers, streaming=streaming
+    ) as pipeline:
+        return measure_pipeline_throughput(
+            pipeline,
+            mask,
+            simulator.pixel_size,
+            name=name,
+            repeats=repeats,
+            warmup=warmup,
+            batch_size=batch_size,
+        )

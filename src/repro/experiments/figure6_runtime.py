@@ -80,6 +80,7 @@ def run_figure6(
     repeats: int = 3,
     batch_size: int | None = None,
     num_workers: int | None = None,
+    streaming: bool | None = None,
 ) -> list[dict]:
     """Measure throughput of every engine on one benchmark tile.
 
@@ -87,7 +88,10 @@ def run_figure6(
     profile's batch size); the per-tile ``batch_size=1`` measurement is always
     reported alongside for continuity with the seed numbers.  ``num_workers``
     shards the batched measurement across a worker pool, which is how the
-    "orders of magnitude" headline scales on a multi-core host.
+    "orders of magnitude" headline scales on a multi-core host; ``streaming``
+    selects the persistent shared-memory ring (default) vs the per-call
+    transport for that pool — the repeated measurement loop is exactly the
+    streaming workload the ring accelerates.
     """
     harness = harness or Harness()
     data = harness.benchmark(benchmark, "L")
@@ -99,7 +103,7 @@ def run_figure6(
     results: list[dict] = []
     for name, label in (("unet", "UNet"), ("damo-dls", "DAMO"), ("doinn", "Ours")):
         model = create_model(name, image_size=image_size)
-        pipeline = harness.model_pipeline(model, num_workers=num_workers)
+        pipeline = harness.model_pipeline(model, num_workers=num_workers, streaming=streaming)
         single = measure_model_throughput(
             pipeline, mask, pixel_size, name=label, repeats=repeats, batch_size=1
         )

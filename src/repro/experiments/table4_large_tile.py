@@ -26,11 +26,16 @@ def run_table4(
     benchmark: str = "ispd2019",
     save_figure9: bool = True,
     num_workers: int | None = None,
+    streaming: bool | None = None,
+    shard_tiles: bool | None = None,
 ) -> dict:
     """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles.
 
     ``num_workers`` shards the tile batches of both rows across a worker
-    pool; the predictions are bit-identical to the serial path.
+    pool; ``streaming`` keeps the pool's shared-memory segments alive across
+    the two rows and ``shard_tiles`` (default: on when pooled) lets the
+    "DOINN-LT" row shard the tiles of each large mask across all workers.
+    The predictions are bit-identical to the serial path in every mode.
     """
     harness = harness or Harness()
     profile = harness.profile
@@ -53,6 +58,8 @@ def run_table4(
         tile_size=config.image_size,
         optical_diameter_pixels=simulator.optical_diameter_pixels,
         num_workers=num_workers,
+        streaming=streaming,
+        shard_tiles=shard_tiles,
     )
     naive_predictions = pipeline.predict_naive(large.masks)
     lt_predictions = pipeline.predict(large.masks, stitch=True)

@@ -12,6 +12,7 @@ from .fusion import (
     FusedChain,
     FusedConvBNAct,
     FusedInferenceGraph,
+    FusionFallbackWarning,
     compile_model,
 )
 from .layers import (
@@ -45,6 +46,7 @@ __all__ = [
     "FusedChain",
     "FusedConvBNAct",
     "FusedInferenceGraph",
+    "FusionFallbackWarning",
     "compile_model",
     "Tensor",
     "no_grad",

@@ -49,6 +49,7 @@ Declaration protocol (the "fusion metadata" the layers/models expose):
 from __future__ import annotations
 
 import copy
+import warnings
 
 import numpy as np
 
@@ -61,9 +62,31 @@ __all__ = [
     "FusedChain",
     "CompiledChain",
     "FusedInferenceGraph",
+    "FusionFallbackWarning",
     "build_chain",
     "compile_model",
 ]
+
+
+class FusionFallbackWarning(UserWarning):
+    """A declared fusible chain could not be compiled; the module runs unfused.
+
+    Raised as a *warning*, not an error: an unsupported layer mid-chain (the
+    transposed convolutions of ``dconv*`` / the UNet up path are the canonical
+    case) silently degrading to unfused execution is exactly the failure mode
+    this surfaces.  ``module_path`` names the offending module inside the
+    compiled copy (e.g. ``"DOINN.reconstruction"``), ``reason`` carries the
+    chain-construction error.  The same ``(module_path, reason)`` pairs are
+    recorded on :attr:`FusedInferenceGraph.fallbacks` for programmatic checks.
+    """
+
+    def __init__(self, module_path: str, reason: str) -> None:
+        super().__init__(
+            f"cannot fuse {module_path}: {reason}; the module falls back to "
+            "unfused execution"
+        )
+        self.module_path = module_path
+        self.reason = reason
 
 
 # ---------------------------------------------------------------------- #
@@ -358,12 +381,35 @@ def _rewrite_sequential(seq: Sequential, chains: list, consumed: set) -> None:
                 setattr(seq, names[index], Identity())
 
 
-def _rewrite_tree(module: Module, chains: list, consumed: set) -> None:
+def _try_build_chain(steps, label: str, path: str, fallbacks: list) -> FusedChain | None:
+    """Build a declared chain, degrading to a warned fallback on failure.
+
+    A chain broken by an unsupported layer mid-chain (a transposed conv, a
+    BatchNorm whose width does not match, ...) must neither crash the compile
+    nor vanish silently: the module keeps its original unfused implementation
+    and a :class:`FusionFallbackWarning` names the module path and the reason.
+    """
+    try:
+        return build_chain(steps, label=label)
+    except (TypeError, ValueError) as exc:
+        fallbacks.append((path, str(exc)))
+        warnings.warn(FusionFallbackWarning(path, str(exc)), stacklevel=3)
+        return None
+
+
+def _rewrite_tree(module: Module, chains: list, consumed: set, path: str, fallbacks: list) -> None:
     rewrites = getattr(module, "fusion_rewrites", None)
     if rewrites is not None:
         for method_name, steps in rewrites().items():
             steps = _normalize_steps(steps)
-            chain = build_chain(steps, label=f"{type(module).__name__}.{method_name}")
+            chain = _try_build_chain(
+                steps,
+                f"{type(module).__name__}.{method_name}",
+                f"{path}.{method_name}",
+                fallbacks,
+            )
+            if chain is None:
+                continue  # the method keeps its original unfused implementation
             object.__setattr__(module, method_name, _FusedMethod(chain, module))
             consumed.update(id(conv) for conv, _, _ in steps)
             chains.append(chain)
@@ -372,17 +418,23 @@ def _rewrite_tree(module: Module, chains: list, consumed: set) -> None:
     for name, child in list(module._modules.items()):
         if isinstance(child, (CompiledChain, Identity)):
             continue
+        child_path = f"{path}.{name}"
         declared = getattr(child, "fusible_chain", None)
         if declared is not None:
             steps = _normalize_steps(declared())
             if all(id(conv) in consumed for conv, _, _ in steps):
                 continue  # already folded into a parent-level rewrite
-            chain = build_chain(steps, label=type(child).__name__)
+            chain = _try_build_chain(steps, type(child).__name__, child_path, fallbacks)
+            if chain is None:
+                # Salvage what the broken declaration hid: grandchildren may
+                # still declare healthy chains of their own.
+                _rewrite_tree(child, chains, consumed, child_path, fallbacks)
+                continue
             consumed.update(id(conv) for conv, _, _ in steps)
             chains.append(chain)
             setattr(module, name, CompiledChain(chain, source=type(child).__name__))
         else:
-            _rewrite_tree(child, chains, consumed)
+            _rewrite_tree(child, chains, consumed, child_path, fallbacks)
     refresh = getattr(module, "fusion_refresh", None)
     if refresh is not None:
         refresh()
@@ -398,11 +450,21 @@ class FusedInferenceGraph(Module):
     engine exactly as with a raw model.
     """
 
-    def __init__(self, module: Module, chains: list[FusedChain], source_name: str) -> None:
+    def __init__(
+        self,
+        module: Module,
+        chains: list[FusedChain],
+        source_name: str,
+        fallbacks: list[tuple[str, str]] | None = None,
+    ) -> None:
         super().__init__()
         self.module = module
         self.chains = list(chains)
         self.source_name = source_name
+        #: ``(module_path, reason)`` for every declared chain that could not
+        #: be compiled and fell back to unfused execution (each one also
+        #: raised a :class:`FusionFallbackWarning` at compile time).
+        self.fallbacks = list(fallbacks or [])
         self.eval()
 
     def forward(self, x: Tensor) -> Tensor:
@@ -453,11 +515,16 @@ def compile_model(model: Module) -> FusedInferenceGraph:
     rewritten = copy.deepcopy(model)
     chains: list[FusedChain] = []
     consumed: set[int] = set()
+    fallbacks: list[tuple[str, str]] = []
     declared = getattr(rewritten, "fusible_chain", None)
-    if declared is not None:
-        chain = build_chain(declared(), label=source_name)
+    chain = (
+        _try_build_chain(_normalize_steps(declared()), source_name, source_name, fallbacks)
+        if declared is not None
+        else None
+    )
+    if chain is not None:
         chains.append(chain)
         rewritten = CompiledChain(chain, source=source_name)
     else:
-        _rewrite_tree(rewritten, chains, consumed)
-    return FusedInferenceGraph(rewritten, chains, source_name)
+        _rewrite_tree(rewritten, chains, consumed, source_name, fallbacks)
+    return FusedInferenceGraph(rewritten, chains, source_name, fallbacks=fallbacks)

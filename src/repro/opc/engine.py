@@ -36,6 +36,12 @@ class OPCConfig:
     epe_search_range: int = 24        # pixels
     record_history: bool = True
     num_workers: int | None = None    # worker pool for the simulation pipeline
+    #: Persistent shared-memory ring for the simulation pipeline.  OPC is the
+    #: canonical streaming workload — the iterate-simulate-measure loop calls
+    #: the simulator once per iteration on same-shaped masks, so the ring's
+    #: segments are mapped once and reused for the whole run.  ``None``
+    #: defers to ``REPRO_STREAMING`` (then on).
+    streaming: bool | None = None
 
 
 @dataclass
@@ -87,7 +93,11 @@ class OPCEngine:
     def __init__(self, simulator: LithoSimulator, config: OPCConfig | None = None) -> None:
         self.simulator = simulator
         self.config = config or OPCConfig()
-        self.pipeline = InferencePipeline(simulator, num_workers=self.config.num_workers)
+        self.pipeline = InferencePipeline(
+            simulator,
+            num_workers=self.config.num_workers,
+            streaming=self.config.streaming,
+        )
 
     def close(self) -> None:
         """Release the simulation pipeline's worker pool (no-op when serial)."""

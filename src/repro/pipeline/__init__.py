@@ -2,6 +2,32 @@
 
 The single high-throughput engine every inference consumer routes through;
 see :mod:`repro.pipeline.engine` for the architecture overview.
+
+Throughput knobs (all threaded through :class:`InferencePipeline` and every
+driver that builds one — evaluation, OPC, experiment harnesses, benchmarks):
+
+``batch_size``
+    Tiles / masks per executor invocation (executors micro-batch internally
+    to stay cache-resident, so bigger batches only help).
+``num_workers`` / ``REPRO_NUM_WORKERS``
+    Worker processes the executor's batches are sharded across
+    (:mod:`repro.pipeline.parallel`); 0/1 runs serial in-process.  The
+    environment variable parallelizes a whole fleet without touching call
+    sites; an explicit argument always wins.
+``streaming`` / ``REPRO_STREAMING``
+    Keep the worker pool's shared-memory segments alive across pipeline calls
+    in a persistent, generation-tagged ring (:mod:`repro.pipeline.streaming`)
+    instead of re-creating them per call.  Default on; ``streaming=False``
+    (or ``REPRO_STREAMING=0``) restores the per-call transport.
+``shard_tiles``
+    Let the stitched large-tile plan dispatch the whole GP tile stream as one
+    pooled invocation, so the tiles of a *single* large mask shard across all
+    workers.  Default: on whenever the pipeline is pooled.
+``compile``
+    Run a model engine as a fused inference graph (:mod:`repro.nn.fusion`).
+
+Every knob composes with every other, and all combinations are bit-identical
+to the serial path (pinned by ``tests/pipeline/``).
 """
 
 from .engine import InferencePipeline, PipelineResult, PipelineStats
@@ -12,6 +38,13 @@ from .parallel import (
     WorkerPoolError,
     WorkerPoolExecutor,
     resolve_num_workers,
+)
+from .streaming import (
+    SEGMENT_PREFIX,
+    STREAMING_ENV,
+    SegmentRing,
+    live_segment_names,
+    resolve_streaming,
 )
 
 __all__ = [
@@ -27,4 +60,9 @@ __all__ = [
     "WorkerPoolError",
     "WorkerPoolExecutor",
     "resolve_num_workers",
+    "SEGMENT_PREFIX",
+    "STREAMING_ENV",
+    "SegmentRing",
+    "live_segment_names",
+    "resolve_streaming",
 ]

@@ -49,6 +49,27 @@ Two independent knobs control throughput:
   sweeps both knobs and writes the measured table to
   ``artifacts/results/pipeline_throughput.txt``.
 
+Two streaming refinements ride on top of the worker pool:
+
+* ``streaming`` — keep the worker pool's shared-memory segments alive across
+  pipeline calls in a persistent, generation-tagged ring
+  (:mod:`repro.pipeline.streaming`; fleet-wide via ``REPRO_STREAMING``).  On
+  repeated-call workloads (OPC iteration loops, full-chip tile streams) this
+  skips the per-call ``shm_open``/``mmap``/copy-warming in the parent and
+  every worker.  Default on; ``streaming=False`` restores the per-call
+  transport.  Bit-identical either way.
+* ``shard_tiles`` — let the stitched §3.2 plan hand the tile stream of a
+  large mask (or mask batch) to the pool in ``num_workers x batch_size``
+  super-batches, so the tiles of a single mask shard across all workers
+  instead of being fed in ``batch_size``-bounded pool calls (one barrier +
+  one segment fill per super-batch rather than per chunk, while the shared
+  segments stay bounded at workers x batch_size tiles however large the
+  layout is).  Worker-side micro-batching keeps each shard cache-resident,
+  and the GP path is partition invariant, so the stitched output stays
+  bit-identical to the serial and per-call plans.  Default: on whenever the
+  executor is pooled; a serial pipeline keeps the ``batch_size``-chunked
+  loop.
+
 A third, orthogonal knob is ``compile`` — compile a model engine once into a
 fused inference graph (conv->BN->LeakyReLU folded into single passes with a
 pad-once buffer cache, :mod:`repro.nn.fusion`) and run every batch through
@@ -79,6 +100,7 @@ class PipelineStats:
     num_masks: int = 0
     num_tiles: int = 0            # GP tiles executed (stitched mode only)
     num_batches: int = 0          # executor invocations
+    sharded_tiles: bool = False   # GP tile stream dispatched as one pooled call
     seconds: float = 0.0
 
     @property
@@ -131,7 +153,21 @@ class InferencePipeline:
         the workers.
     parallel:
         A prebuilt :class:`~repro.pipeline.parallel.ParallelConfig`; explicit
-        ``num_workers``/``chunk_size`` arguments override its fields.
+        ``num_workers``/``chunk_size``/``streaming`` arguments override its
+        fields.
+    streaming:
+        Keep the worker pool's shared-memory segments alive across pipeline
+        calls in a persistent ring (:mod:`repro.pipeline.streaming`).  ``None``
+        defers to the ``REPRO_STREAMING`` environment variable (then on);
+        ``False`` restores the per-call segment transport.  Irrelevant (and
+        ignored) for serial pipelines.
+    shard_tiles:
+        Let the stitched large-tile plan dispatch the GP tile stream in
+        ``num_workers x batch_size`` super-batches so the tiles of one mask
+        shard across all workers (with shared segments bounded at that size
+        however large the layout is).  ``None`` (default) enables it exactly
+        when the executor is pooled; ``False`` forces the
+        ``batch_size``-chunked GP loop.  Bit-identical either way.
     compile:
         Compile a model engine once into a fused inference graph
         (:func:`repro.nn.compile_model`: conv->BN->activation fusion with a
@@ -150,13 +186,18 @@ class InferencePipeline:
         chunk_size: int | None = None,
         parallel: ParallelConfig | None = None,
         compile: bool = False,
+        streaming: bool | None = None,
+        shard_tiles: bool | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         if parallel is not None:
             num_workers = parallel.num_workers if num_workers is None else num_workers
             chunk_size = parallel.chunk_size if chunk_size is None else chunk_size
-        parallel = ParallelConfig(num_workers=num_workers, chunk_size=chunk_size)
+            streaming = parallel.streaming if streaming is None else streaming
+        parallel = ParallelConfig(
+            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming
+        )
         self.executor: Executor = as_executor(engine, compile=compile)
         self.compiled = getattr(self.executor, "compiled", False)
         self.num_workers = parallel.resolved_workers()
@@ -164,6 +205,10 @@ class InferencePipeline:
             self.executor = WorkerPoolExecutor(self.executor, config=parallel)
         elif isinstance(self.executor, WorkerPoolExecutor):
             self.num_workers = self.executor.num_workers
+        self.streaming = (
+            self.executor.streaming if isinstance(self.executor, WorkerPoolExecutor) else False
+        )
+        self.shard_tiles = shard_tiles
         self.tile_size = tile_size
         self.batch_size = batch_size
         self.optical_diameter_pixels = optical_diameter_pixels
@@ -341,10 +386,41 @@ class InferencePipeline:
             stats.num_batches += 1
         return np.concatenate(outputs, axis=0)
 
+    def _shards_tile_stream(self) -> bool:
+        """Whether the stitched plan dispatches one pooled GP invocation.
+
+        Intra-mask sharding needs a worker pool to shard onto; with
+        ``shard_tiles=None`` it engages exactly when the executor is pooled,
+        and ``shard_tiles=False`` opts back into the ``batch_size``-chunked
+        GP loop (the per-call plan the equivalence tests compare against).
+        """
+        if self.shard_tiles is False:
+            return False
+        return isinstance(self.executor, WorkerPoolExecutor) and self.executor.num_workers > 1
+
     def _run_gp_batches(
         self, tiles: np.ndarray, batch_size: int, stats: PipelineStats
     ) -> np.ndarray:
         """Global-perception forwards over a tile stream ``(n, t, t)``."""
+        if self._shards_tile_stream():
+            # Pooled invocations of num_workers * batch_size tiles: every
+            # tile of every mask — including the tiles of a *single* large
+            # mask — shards across the workers, with one barrier and one
+            # segment fill per ~batch_size tiles *per worker* instead of per
+            # batch_size tiles total.  The super-batch bound keeps the shared
+            # segments (and the persistent ring's grow-only capacity) at
+            # workers x batch_size tiles however large the layout stream is,
+            # and worker-side micro-batching keeps each shard cache-resident.
+            # The GP path is partition invariant, so the result is
+            # bit-identical to the chunked and serial plans.
+            stats.sharded_tiles = True
+            stream = batch_size * max(1, self.executor.num_workers)
+            gp_outputs = []
+            for start in range(0, tiles.shape[0], stream):
+                gp_outputs.append(self.executor.run_gp(tiles[start : start + stream][:, None]))
+                stats.num_batches += 1
+            stats.num_tiles += tiles.shape[0]
+            return gp_outputs[0] if len(gp_outputs) == 1 else np.concatenate(gp_outputs, axis=0)
         gp_outputs = []
         for start in range(0, tiles.shape[0], batch_size):
             gp_outputs.append(self.executor.run_gp(tiles[start : start + batch_size][:, None]))

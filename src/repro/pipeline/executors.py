@@ -69,6 +69,13 @@ class ModelExecutor(Executor):
     MICRO_BATCH_BUDGET_BYTES = 2 * 1024 * 1024
     #: Coarse per-sample activation width estimate used to size micro-batches.
     ACTIVATION_CHANNEL_ESTIMATE = 32
+    #: Per-sample estimate for compiled (fused) graphs.  Fused chains keep a
+    #: padded entry buffer *and* a padded output scratch buffer resident per
+    #: op (the pad-once cache of :class:`repro.nn.fusion.FusedChain`), roughly
+    #: doubling the per-sample working set — sizing compiled micro-batches
+    #: with the unfused estimate overfilled the cache and made compiled
+    #: bs>=2 ~1.3x slower per tile than bs=1 (the regression this fixes).
+    FUSED_ACTIVATION_CHANNEL_ESTIMATE = 64
 
     def __init__(self, model: Module, compile: bool = False) -> None:
         if not isinstance(model, Module):
@@ -87,9 +94,16 @@ class ModelExecutor(Executor):
 
         A single sample whose activations exceed the whole budget (e.g. a
         4096x4096 tile) must still run — the floor division is clamped to 1,
-        and a degenerate zero-area geometry cannot divide by zero.
+        and a degenerate zero-area geometry cannot divide by zero.  Compiled
+        engines budget with the fused working-set estimate (padded scratch
+        buffers), so their micro-batches are smaller for the same geometry.
         """
-        per_sample = self.ACTIVATION_CHANNEL_ESTIMATE * height * width * 8
+        channels = (
+            self.FUSED_ACTIVATION_CHANNEL_ESTIMATE
+            if self.compiled
+            else self.ACTIVATION_CHANNEL_ESTIMATE
+        )
+        per_sample = channels * height * width * 8
         return max(1, self.MICRO_BATCH_BUDGET_BYTES // max(per_sample, 1))
 
     @property
@@ -116,9 +130,22 @@ class ModelExecutor(Executor):
 
     # -- DOINN path hooks for the large-tile stitching plan ------------- #
     def run_gp(self, tiles: np.ndarray) -> np.ndarray:
-        """Global-perception features of a tile batch ``(B, 1, t, t)``."""
+        """Global-perception features of a tile batch ``(B, 1, t, t)``.
+
+        Micro-batched like :meth:`run_batch` (bit-identical: the GP path is
+        partition invariant), so the stitched plan can hand a whole mask's
+        tile stream to one worker shard without spilling the cache.
+        """
+        micro = self._micro_batch(tiles.shape[-2], tiles.shape[-1])
         with eval_mode(self.model), no_grad():
-            return self.model.global_perception(Tensor(tiles)).numpy()
+            if tiles.shape[0] <= micro:
+                return self.model.global_perception(Tensor(tiles)).numpy()
+            return np.concatenate(
+                [
+                    self.model.global_perception(Tensor(tiles[start : start + micro])).numpy()
+                    for start in range(0, tiles.shape[0], micro)
+                ]
+            )
 
     def run_reconstruction(self, gp: np.ndarray, masks: np.ndarray) -> np.ndarray:
         """LP + image reconstruction on full-size masks with stitched GP maps.

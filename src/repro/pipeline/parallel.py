@@ -8,6 +8,22 @@ scale past one core:
   memory (:mod:`multiprocessing.shared_memory`); workers map them zero-copy,
   compute their chunk, and write the result directly into a shared output
   buffer.  No mask or prediction array is ever pickled through a pipe.
+* **Persistent streaming ring** (default) — the input/output segments live in
+  a :class:`~repro.pipeline.streaming.SegmentRing` that persists across
+  executor invocations, so consecutive pipeline calls (OPC iteration loops,
+  full-chip tile streams) reuse the mapped segments instead of paying a fresh
+  ``shm_open`` + ``mmap`` per call.  Slots are generation-tagged: workers
+  cache their mapping per slot and remap only when the parent regrew a slot
+  for a larger geometry.  ``streaming=False`` (or ``REPRO_STREAMING=0``)
+  restores the per-call transport, which the throughput bench uses as its
+  baseline.
+* **Guaranteed segment teardown** — every segment (streaming or per-call)
+  is tracked by the :mod:`~repro.pipeline.streaming` registry: per-call
+  segments are released in a ``try``/``finally`` even when a worker raises
+  mid-batch, ring segments are released by :meth:`WorkerPoolExecutor.close`,
+  and whatever is still live at interpreter exit is unlinked by the
+  registry's ``atexit`` hook — ``/dev/shm`` never accumulates stale
+  ``repro`` segments.
 * **Chunked work queue** — each executor invocation is split into
   ``chunk_size`` slices (default: an even split over the workers) that the
   pool drains as a queue, so stragglers don't serialize the batch.
@@ -18,13 +34,14 @@ scale past one core:
   traceback and re-raised in the parent as :class:`WorkerPoolError`.
 * **Clean shutdown** — the pool is created lazily on first parallel run and
   torn down by :meth:`WorkerPoolExecutor.close` (also a context manager, also
-  best-effort on garbage collection).
+  best-effort on garbage collection), which releases the streaming ring too.
 
 ``num_workers <= 1`` (and single-item batches) degrade to the wrapped
 executor's in-process path, so a pipeline with the knob left at zero behaves
 exactly as before.  The worker count resolves from, in order: an explicit
 ``num_workers`` argument, the ``REPRO_NUM_WORKERS`` environment variable, or
-0 (serial).
+0 (serial).  The streaming knob resolves the same way from ``streaming`` /
+``REPRO_STREAMING`` / on.
 """
 
 from __future__ import annotations
@@ -40,6 +57,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from .executors import Executor, as_executor
+from .streaming import SegmentRing, create_segment, release_segment, resolve_streaming
 
 __all__ = [
     "NUM_WORKERS_ENV",
@@ -79,10 +97,14 @@ class ParallelConfig:
     (then 0), and values <= 1 mean serial in-process execution.
     ``chunk_size``: items per work-queue chunk; ``None`` splits each batch
     evenly over the workers.
+    ``streaming``: reuse shared-memory segments across pipeline calls via the
+    persistent ring; ``None`` defers to ``REPRO_STREAMING`` (then on), and
+    ``False`` restores the per-call segment transport.
     """
 
     num_workers: int | None = None
     chunk_size: int | None = None
+    streaming: bool | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -90,6 +112,9 @@ class ParallelConfig:
 
     def resolved_workers(self) -> int:
         return resolve_num_workers(self.num_workers)
+
+    def resolved_streaming(self) -> bool:
+        return resolve_streaming(self.streaming)
 
 
 class WorkerPoolError(RuntimeError):
@@ -101,31 +126,55 @@ class WorkerPoolError(RuntimeError):
 # ---------------------------------------------------------------------- #
 _WORKER_EXECUTOR: Executor | None = None
 
+#: Worker-side half of the streaming ring: ``role -> (segment name,
+#: generation, mapped SharedMemory)``.  A mapping is reused as long as the
+#: parent's slot keeps its (name, generation) tag and remapped when the slot
+#: was regrown, so steady-state streaming tasks touch no ``shm_open`` at all.
+_WORKER_SEGMENTS: dict[str, tuple[str, int, shared_memory.SharedMemory]] = {}
+
 
 def _init_worker(executor: Executor) -> None:
     global _WORKER_EXECUTOR
     _WORKER_EXECUTOR = executor
+    _WORKER_SEGMENTS.clear()
+
+
+def _map_segment(spec, transient: list) -> shared_memory.SharedMemory:
+    """Map one buffer spec; cache persistent slots, track per-call ones."""
+    role, name, generation, _shape, _dtype, persistent = spec
+    if not persistent:
+        shm = shared_memory.SharedMemory(name=name)
+        transient.append(shm)
+        return shm
+    cached = _WORKER_SEGMENTS.get(role)
+    if cached is not None:
+        if cached[0] == name and cached[1] == generation:
+            return cached[2]
+        try:  # the parent regrew this slot: drop the stale mapping
+            cached[2].close()
+        except BufferError:  # pragma: no cover - views from an aborted task
+            pass
+    shm = shared_memory.SharedMemory(name=name)
+    _WORKER_SEGMENTS[role] = (name, generation, shm)
+    return shm
 
 
 def _execute_chunk(task) -> None:
     method, inputs, output, start, stop = task
-    handles = []
+    transient: list = []
     try:
         views = []
-        for name, shape, dtype in inputs:
-            shm = shared_memory.SharedMemory(name=name)
-            handles.append(shm)
-            views.append(np.ndarray(shape, dtype=dtype, buffer=shm.buf)[start:stop])
-        out_name, out_shape, out_dtype = output
-        out_shm = shared_memory.SharedMemory(name=out_name)
-        handles.append(out_shm)
-        out = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
+        for spec in inputs:
+            shm = _map_segment(spec, transient)
+            views.append(np.ndarray(spec[3], dtype=spec[4], buffer=shm.buf)[start:stop])
+        out_shm = _map_segment(output, transient)
+        out = np.ndarray(output[3], dtype=output[4], buffer=out_shm.buf)
         out[start:stop] = getattr(_WORKER_EXECUTOR, method)(*views)
         # Drop the array views before closing: a SharedMemory mapping cannot
         # close while ndarrays still export its buffer.
         del views, out
     finally:
-        for shm in handles:
+        for shm in transient:
             try:
                 shm.close()
             except BufferError:
@@ -148,12 +197,13 @@ class WorkerPoolExecutor(Executor):
     """Shard any executor's batches across a multiprocessing pool.
 
     The wrapped executor is shipped to each worker once (pool initializer);
-    per-call traffic is pure shared memory.  The first call for each
-    ``(method, item shape)`` runs one item in-process to learn the output
-    spec (and warm the parent's caches); afterwards every batch is fully
-    sharded.  All capability flags and the stitching hooks of the wrapped
-    executor are proxied, so the pipeline's planner sees no difference
-    between a serial and a pooled engine.
+    per-call traffic is pure shared memory — and with the default streaming
+    transport, the shared segments themselves persist across calls.  The
+    first call for each ``(method, item shape)`` runs one item in-process to
+    learn the output spec (and warm the parent's caches); afterwards every
+    batch is fully sharded.  All capability flags and the stitching hooks of
+    the wrapped executor are proxied, so the pipeline's planner sees no
+    difference between a serial and a pooled engine.
     """
 
     def __init__(
@@ -162,21 +212,27 @@ class WorkerPoolExecutor(Executor):
         num_workers: int | None = None,
         chunk_size: int | None = None,
         config: ParallelConfig | None = None,
+        streaming: bool | None = None,
     ) -> None:
         if config is not None:
             num_workers = config.num_workers if num_workers is None else num_workers
             chunk_size = config.chunk_size if chunk_size is None else chunk_size
-        config = ParallelConfig(num_workers=num_workers, chunk_size=chunk_size)
+            streaming = config.streaming if streaming is None else streaming
+        config = ParallelConfig(
+            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming
+        )
         inner = as_executor(engine)
         if isinstance(inner, WorkerPoolExecutor):
             raise TypeError("cannot nest WorkerPoolExecutor inside WorkerPoolExecutor")
         self.inner = inner
         self.num_workers = config.resolved_workers()
         self.chunk_size = config.chunk_size
+        self.streaming = config.resolved_streaming()
         self.name = (
             f"{inner.name}[workers={self.num_workers}]" if self.num_workers > 1 else inner.name
         )
         self._pool = None
+        self._ring: SegmentRing | None = None
         self._output_specs: dict = {}
 
     # -- capability proxies -------------------------------------------- #
@@ -209,11 +265,18 @@ class WorkerPoolExecutor(Executor):
 
     # -- lifecycle ------------------------------------------------------ #
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; pool respawns on next use)."""
+        """Shut the pool down and release the streaming ring (idempotent).
+
+        Both respawn transparently on the next parallel run, so ``close`` can
+        be called between streams to return the shared memory to the OS.
+        """
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
 
     def __enter__(self) -> "WorkerPoolExecutor":
         return self
@@ -230,6 +293,7 @@ class WorkerPoolExecutor(Executor):
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_pool"] = None  # pools are per-process
+        state["_ring"] = None  # ring segments are owned by the creating process
         return state
 
     # -- sharded execution ---------------------------------------------- #
@@ -257,45 +321,90 @@ class WorkerPoolExecutor(Executor):
             lead = 1
         item_shape, out_dtype = spec
         out_shape = (batch, *item_shape)
+        out_nbytes = int(np.prod(out_shape, dtype=np.int64)) * out_dtype.itemsize
 
         chunk = self.chunk_size or math.ceil((batch - lead) / self.num_workers)
         bounds = [(s, min(s + chunk, batch)) for s in range(lead, batch, chunk)]
 
-        shms = []
+        if self.streaming:
+            return self._run_ring(method, arrays, out_shape, out_dtype, out_nbytes, first, bounds)
+        return self._run_per_call(method, arrays, out_shape, out_dtype, out_nbytes, first, bounds)
+
+    def _dispatch(self, method: str, inputs: list, output: tuple, bounds: list) -> None:
+        """Fan the chunk tasks out to the pool; raise on any worker failure."""
+        tasks = [(method, inputs, output, start, stop) for start, stop in bounds]
+        failures = [tb for tb in self._ensure_pool().map(_run_chunk, tasks) if tb]
+        if failures:
+            raise WorkerPoolError(
+                f"{len(failures)} worker chunk(s) of {self.name}.{method} failed; "
+                "first remote traceback:\n" + failures[0]
+            )
+
+    def _run_ring(
+        self, method: str, arrays: tuple, out_shape: tuple, out_dtype, out_nbytes: int,
+        first: np.ndarray | None, bounds: list,
+    ) -> np.ndarray:
+        """Streaming transport: copy into the persistent ring, dispatch, copy out.
+
+        Slots survive this call — an error leaves them owned by the ring (torn
+        down by ``close()`` or the registry's atexit hook), never stale in
+        ``/dev/shm``.
+        """
+        ring = self._ensure_ring()
+        inputs = []
+        for index, a in enumerate(arrays):
+            slot = ring.acquire(f"in{index}", a.nbytes)
+            np.ndarray(a.shape, dtype=a.dtype, buffer=slot.shm.buf)[:] = a
+            inputs.append((slot.role, slot.shm.name, slot.generation, a.shape, a.dtype.str, True))
+        out_slot = ring.acquire("out", out_nbytes)
+        out_view = np.ndarray(out_shape, dtype=out_dtype, buffer=out_slot.shm.buf)
+        if first is not None:
+            out_view[:1] = first
+        output = (out_slot.role, out_slot.shm.name, out_slot.generation, out_shape, out_dtype.str, True)
+        try:
+            self._dispatch(method, inputs, output, bounds)
+            return out_view.copy()
+        finally:
+            # Release the parent's array view so a later regrow/close can
+            # unmap the slot (a mapping cannot close under a live ndarray).
+            del out_view
+
+    def _run_per_call(
+        self, method: str, arrays: tuple, out_shape: tuple, out_dtype, out_nbytes: int,
+        first: np.ndarray | None, bounds: list,
+    ) -> np.ndarray:
+        """Per-call transport: fresh segments, released in ``finally`` always.
+
+        Segments additionally sit in the streaming registry between creation
+        and release, so even a parent death mid-call cannot strand them past
+        interpreter exit.
+        """
+        segments = []
         try:
             inputs = []
-            for a in arrays:
-                shm = shared_memory.SharedMemory(create=True, size=a.nbytes)
-                shms.append(shm)
+            for index, a in enumerate(arrays):
+                shm = create_segment(a.nbytes)
+                segments.append(shm)
                 np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf)[:] = a
-                inputs.append((shm.name, a.shape, a.dtype.str))
-            out_nbytes = int(np.prod(out_shape, dtype=np.int64)) * out_dtype.itemsize
-            out_shm = shared_memory.SharedMemory(create=True, size=max(out_nbytes, 1))
-            shms.append(out_shm)
+                inputs.append((f"in{index}", shm.name, 0, a.shape, a.dtype.str, False))
+            out_shm = create_segment(out_nbytes)
+            segments.append(out_shm)
             out_view = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
             if first is not None:
                 out_view[:1] = first
-            output = (out_shm.name, out_shape, out_dtype.str)
-            tasks = [(method, inputs, output, start, stop) for start, stop in bounds]
-            failures = [tb for tb in self._ensure_pool().map(_run_chunk, tasks) if tb]
-            if failures:
-                raise WorkerPoolError(
-                    f"{len(failures)} worker chunk(s) of {self.name}.{method} failed; "
-                    "first remote traceback:\n" + failures[0]
-                )
+            output = ("out", out_shm.name, 0, out_shape, out_dtype.str, False)
+            self._dispatch(method, inputs, output, bounds)
             result = out_view.copy()
             del out_view
             return result
         finally:
-            for shm in shms:
-                try:
-                    shm.close()
-                except BufferError:
-                    pass
-                try:
-                    shm.unlink()
-                except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
+            for shm in segments:
+                release_segment(shm)
+
+    def _ensure_ring(self) -> SegmentRing:
+        if self._ring is None:
+            self._ring = SegmentRing()
+        return self._ring
 
     def _ensure_pool(self):
         if self._pool is None:

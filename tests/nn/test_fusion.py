@@ -10,10 +10,12 @@ model is left bit-for-bit untouched by compilation.
 from __future__ import annotations
 
 import pickle
+import warnings
 
 import numpy as np
 import pytest
 
+from repro import nn
 from repro.core import DOINN, DOINNConfig
 from repro.core.paths import VGGBlock
 from repro.nn import (
@@ -21,6 +23,7 @@ from repro.nn import (
     CompiledChain,
     Conv2d,
     FusedInferenceGraph,
+    FusionFallbackWarning,
     Identity,
     LeakyReLU,
     ReLU,
@@ -373,3 +376,95 @@ def test_bn_buffers_survive_compile_and_state_dict_round_trip(tiny_model_factory
         np.testing.assert_array_equal(
             compile_model(restored)(Tensor(x)).numpy(), graph(Tensor(x)).numpy()
         )
+
+
+# --------------------------------------------------------------------- #
+# Broken-chain fallbacks: warned, recorded, never silent (PR 4 satellite)
+# --------------------------------------------------------------------- #
+class _BrokenChainBlock(nn.Module):
+    """Declares a fusible chain that a transposed conv breaks mid-chain."""
+
+    def __init__(self, rng=None) -> None:
+        super().__init__()
+        self.conv = Conv2d(1, 4, 3, padding=1, rng=rng)
+        self.dconv = nn.ConvTranspose2d(4, 4, 2, stride=2, rng=rng)
+        self.act = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.dconv(self.conv(x)))
+
+    def fusible_chain(self):
+        # Deliberately invalid: ConvTranspose2d cannot start a fused op.
+        return [(self.conv, None, None), (self.dconv, None, self.act)]
+
+
+class _HostModel(nn.Module):
+    """A parent whose child declares the broken chain, plus a healthy block."""
+
+    def __init__(self, rng=None) -> None:
+        super().__init__()
+        self.up = _BrokenChainBlock(rng=rng)
+        self.vgg = VGGBlock(4, 4, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.vgg(self.up(x))
+
+
+def test_broken_chain_falls_back_with_structured_warning(rng):
+    model = _HostModel(rng=rng)
+    for bn in (model.vgg.bn1, model.vgg.bn2):
+        _randomize_bn(bn, rng)
+    with pytest.warns(FusionFallbackWarning) as record:
+        graph = compile_model(model)
+    warning = record[0].message
+    # The warning is structured: it names the module path inside the tree
+    # and carries the chain-construction failure as the reason.
+    assert warning.module_path == "_HostModel.up"
+    assert "ConvTranspose2d" in warning.reason
+    assert graph.fallbacks == [(warning.module_path, warning.reason)]
+    # The broken declaration degraded to unfused execution — not silence,
+    # not a crash — while the healthy sibling chain still compiled.
+    assert isinstance(graph.module.up, _BrokenChainBlock)
+    assert isinstance(graph.module.vgg, CompiledChain)
+    x = rng.random((2, 1, 16, 16))
+    with no_grad():
+        np.testing.assert_allclose(
+            graph(Tensor(x)).numpy(), _eval_forward(model, x), **TOL
+        )
+
+
+def test_broken_method_rewrite_keeps_unfused_method(rng):
+    class _BrokenRewrite(nn.Module):
+        def __init__(self) -> None:
+            super().__init__()
+            self.dconv = nn.ConvTranspose2d(1, 2, 2, stride=2, rng=rng)
+            self.tanh = Tanh()
+
+        def forward(self, x: Tensor) -> Tensor:
+            return self._head(x)
+
+        def _head(self, x: Tensor) -> Tensor:
+            return self.tanh(self.dconv(x))
+
+        def fusion_rewrites(self):
+            return {"_head": [(self.dconv, None, self.tanh)]}
+
+    model = _BrokenRewrite()
+    with pytest.warns(FusionFallbackWarning) as record:
+        graph = compile_model(model)
+    assert record[0].message.module_path == "_BrokenRewrite._head"
+    assert len(graph.fallbacks) == 1
+    x = rng.random((1, 1, 8, 8))
+    with no_grad():
+        np.testing.assert_allclose(graph(Tensor(x)).numpy(), _eval_forward(model, x), **TOL)
+
+
+def test_transposed_conv_up_paths_compile_without_fallback(zoo_model):
+    """The real models' transposed convs (DOINN dconv*, the UNet up path,
+    FNO/DAMO heads) are undeclared by design — compiling the whole zoo must
+    raise no fallback warning and record no fallback."""
+    name, model = zoo_model
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FusionFallbackWarning)
+        graph = compile_model(model)
+    assert graph.fallbacks == []

@@ -159,3 +159,37 @@ def test_micro_batch_is_never_zero(model, height, width):
 
 def test_micro_batch_degenerate_geometry_does_not_divide_by_zero(model):
     assert ModelExecutor(model)._micro_batch(0, 0) >= 1
+    assert ModelExecutor(model, compile=True)._micro_batch(0, 0) >= 1
+
+
+@pytest.mark.parametrize("height,width", [(32, 32), (64, 64), (128, 128), (4096, 4096)])
+def test_compiled_micro_batch_budgets_fused_working_set(model, height, width):
+    """Satellite bugfix: compiled engines must budget with the fused estimate.
+
+    The fused chains keep padded entry + output scratch buffers resident per
+    sample, so sizing compiled micro-batches with the unfused activation
+    estimate overfilled the cache (compiled bs>=2 ran ~1.3x slower per tile
+    than bs=1).  The fused estimate halves the samples per micro-batch for
+    the same geometry — and still never reaches 0.
+    """
+    plain = ModelExecutor(model)
+    fused = ModelExecutor(model, compile=True)
+    expected_plain = max(
+        1,
+        plain.MICRO_BATCH_BUDGET_BYTES // (plain.ACTIVATION_CHANNEL_ESTIMATE * height * width * 8),
+    )
+    expected_fused = max(
+        1,
+        fused.MICRO_BATCH_BUDGET_BYTES
+        // (fused.FUSED_ACTIVATION_CHANNEL_ESTIMATE * height * width * 8),
+    )
+    assert plain._micro_batch(height, width) == expected_plain
+    assert fused._micro_batch(height, width) == expected_fused
+    assert fused._micro_batch(height, width) <= plain._micro_batch(height, width)
+
+
+def test_compiled_micro_batch_on_figure6_tiles(model):
+    """The measured regression geometry: 64x64 tiles must micro-batch at 1
+    compiled (fused working set ~2 MiB/sample) vs 2 unfused."""
+    assert ModelExecutor(model)._micro_batch(64, 64) == 2
+    assert ModelExecutor(model, compile=True)._micro_batch(64, 64) == 1
