@@ -26,6 +26,12 @@ Guards the three headlines of the pipeline perf work:
   streams) the persistent shared-memory ring must beat the per-call segment
   transport by >= 1.2x masks/sec at the acceptance worker count (asserted
   when the host has >= 4 physical cores), while staying bit-identical.
+* **Fused transposed-conv chains** (PR 5): with the decoder half of the
+  graph compiled too (``conv_transpose_bn_act``: DOINN's ``dconvN -> vggN``
+  stages, the UNet up path), compiled DOINN *and* compiled UNet must each
+  beat their unfused pipelines by >= 1.2x ms/tile at ``batch_size=1`` while
+  staying within 1e-12 — the UNet rows exist precisely because its whole up
+  path is transposed convs, so they pin the deconv fusion win end to end.
 
 The full engine x batch-size x worker-count sweep — including a ``Shm``
 column naming the transport of each pooled row — is written to
@@ -56,6 +62,9 @@ _NOISE_TOLERANCE = 1.05
 _PARALLEL_SPEEDUP_TARGET = 1.8
 _PARALLEL_SPEEDUP_CORES = 4
 _FUSED_SPEEDUP_TARGET = 1.3
+#: Floor for *both* compiled DOINN and compiled UNet once the transposed-conv
+#: chains are fused (PR 5) — UNet's up path is entirely transposed convs.
+_FUSED_DECONV_SPEEDUP_TARGET = 1.2
 _FUSED_EQUIVALENCE_ATOL = 1e-12
 _STREAMING_SPEEDUP_TARGET = 1.2
 #: Calls per timed round of the streaming comparison.  The streaming win is
@@ -198,6 +207,31 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
             pipeline.close()
 
     # ------------------------------------------------------------------ #
+    # Fused-deconv rows: UNet's up path is entirely transposed convs, so a
+    # compiled-vs-unfused UNet comparison isolates the PR 5 chain link the
+    # way the DOINN rows above isolate the conv/BN/act fusion.
+    # ------------------------------------------------------------------ #
+    unet = create_model("unet", image_size=size)
+    unet_serial = harness.model_pipeline(unet, num_workers=0)
+    unet_fused = harness.model_pipeline(unet, num_workers=0, compile=True)
+    unet_serial.predict(masks)  # warm-up
+    unet_fused.predict(masks)   # warm-up (BN folds, scatter/pad buffer cache)
+    unet_reference = unet_serial.predict(masks, batch_size=profile.batch_size)
+    unet_fused_outputs = unet_fused.predict(masks, batch_size=profile.batch_size)
+    unet_max_err = float(np.abs(unet_fused_outputs - unet_reference).max())
+    assert unet_max_err <= _FUSED_EQUIVALENCE_ATOL, (
+        f"compiled UNet pipeline diverged from the unfused path: max |delta| = {unet_max_err:.3e}"
+    )
+    unet_times = _interleaved_best(
+        {
+            "plain": lambda: unet_serial.predict(masks, batch_size=1),
+            "fused": lambda: unet_fused.predict(masks, batch_size=1),
+        }
+    )
+    unet_per_tile = {key: seconds / len(masks) for key, seconds in unet_times.items()}
+    unet_speedup = unet_per_tile["plain"] / unet_per_tile["fused"]
+
+    # ------------------------------------------------------------------ #
     # Streaming shm ring vs per-call segments on a repeated-call workload
     # ------------------------------------------------------------------ #
     # OPC iteration loops and full-chip tile streams issue many consecutive
@@ -259,6 +293,17 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
         ]
         for engine, workers, bs in sorted(per_tile, key=lambda k: (k[0] == "fused", k[1], k[2]))
     ]
+    for engine in ("plain", "fused"):
+        rows.append(
+            [
+                "UNet pipeline [compiled]" if engine == "fused" else "UNet pipeline",
+                "1",
+                "0",
+                "-",
+                f"{unet_per_tile[engine] * 1e3:.2f}",
+                f"{1.0 / unet_per_tile[engine]:.1f}",
+            ]
+        )
     stream_label = f"{_engine_label(pool_engine)} (x{_STREAMING_REPEAT_CALLS}-call stream)"
     for transport in ("per-call", "ring"):
         rows.append(
@@ -289,6 +334,9 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     summary = (
         f"model-forward speedup at bs=1 (compiled vs unfused): {fused_speedup:.2f}x; "
         f"fused max |delta| = {fused_max_err:.3e}\n"
+        f"fused transposed-conv chains (compiled vs unfused, bs=1): "
+        f"DOINN {fused_speedup:.2f}x, UNet {unet_speedup:.2f}x; "
+        f"UNet fused max |delta| = {unet_max_err:.3e}\n"
         f"streaming ring vs per-call shm ({stream_workers} workers, "
         f"x{_STREAMING_REPEAT_CALLS}-call stream): {streaming_speedup:.2f}x masks/sec"
     )
@@ -304,6 +352,14 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
         f"compiled pipeline must give >= {_FUSED_SPEEDUP_TARGET}x model-forward "
         f"throughput at bs=1, got {fused_speedup:.2f}x"
     )
+
+    # The fused-deconv acceptance (PR 5): with the transposed-conv chains
+    # compiled, both upsampling models must beat their unfused pipelines.
+    for label, speedup in (("DOINN", fused_speedup), ("UNet", unet_speedup)):
+        assert speedup >= _FUSED_DECONV_SPEEDUP_TARGET, (
+            f"compiled {label} must give >= {_FUSED_DECONV_SPEEDUP_TARGET}x "
+            f"model-forward throughput at bs=1, got {speedup:.2f}x"
+        )
 
     # The bs=4 regression fix: batched execution must be at least as fast per
     # tile as single-tile execution (seed im2col made it 1.6x slower).

@@ -21,8 +21,14 @@ python -m pytest -x -q -p no:cacheprovider tests \
     --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py \
     --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py "$@"
 
-echo "== fusion equivalence suite (compiled == unfused for the whole zoo) =="
+# -W error::FusionFallbackWarning: a fallback silently re-appearing anywhere
+# in the zoo (e.g. a transposed-conv declaration rotting back to unfused)
+# fails the build instead of just degrading throughput.  Tests that exercise
+# the fallback machinery on purpose catch the warning with pytest.warns,
+# which scopes its own filter, so they still pass under the global error.
+echo "== fusion equivalence suite (compiled == unfused for the whole zoo, no fallbacks) =="
 python -m pytest -x -q -p no:cacheprovider \
+    -W "error::repro.nn.fusion.FusionFallbackWarning" \
     tests/nn/test_fusion.py tests/pipeline/test_compiled_pipeline.py "$@"
 
 echo "== streaming + parallel worker-pool suites (pooled == serial, bit for bit) =="

@@ -171,14 +171,28 @@ class ImageReconstruction(nn.Module):
         else:
             x = gp_features
 
-        x = self.vgg4(self.dconv1(x))
+        x = self._up1(x)
         if self.use_skips:
             x = Tensor.cat([x, f2], axis=1)
-        x = self.vgg5(self.dconv2(x))
+        x = self._up2(x)
         if self.use_skips:
             x = Tensor.cat([x, f1], axis=1)
-        x = self.vgg6(self.dconv3(x))
+        x = self._up3(x)
         return self._refine_tail(x)
+
+    # Each decoder stage (stride-2 transposed conv + VGG block) is a
+    # straight-line chain — the skip concatenations happen *before* the
+    # dconv, never between it and its VGG block — so the compiler runs it as
+    # one fused kernel: the dconv's output crop lands directly inside the
+    # zero border vgg conv1's padding needs (no crop copy, no re-pad).
+    def _up1(self, x: Tensor) -> Tensor:
+        return self.vgg4(self.dconv1(x))
+
+    def _up2(self, x: Tensor) -> Tensor:
+        return self.vgg5(self.dconv2(x))
+
+    def _up3(self, x: Tensor) -> Tensor:
+        return self.vgg6(self.dconv3(x))
 
     def _refine_tail(self, x: Tensor) -> Tensor:
         """Refinement convs + output head — a straight-line fusible chain."""
@@ -189,7 +203,11 @@ class ImageReconstruction(nn.Module):
         return self.tanh(self.output(x))
 
     def fusion_rewrites(self):
-        """Fuse the full-resolution refine convs and the tanh output head."""
+        """Fuse the ``dconvN -> vggN`` decoder stages and the refine tail."""
+
+        def up(dconv, vgg):
+            return [(dconv, None, None), (vgg.conv1, vgg.bn1, vgg.act), (vgg.conv2, vgg.bn2, vgg.act)]
+
         steps = []
         if self.use_refine:
             steps += [
@@ -198,4 +216,9 @@ class ImageReconstruction(nn.Module):
                 (self.refine3, None, self.relu),
             ]
         steps.append((self.output, None, self.tanh))
-        return {"_refine_tail": steps}
+        return {
+            "_up1": up(self.dconv1, self.vgg4),
+            "_up2": up(self.dconv2, self.vgg5),
+            "_up3": up(self.dconv3, self.vgg6),
+            "_refine_tail": steps,
+        }

@@ -88,18 +88,38 @@ class UNet(nn.Module):
             x = encoder(x)
             skips.append(x)
             x = pool(x)
-        x = self.bottleneck(x)
-        for upconv, decoder, skip in zip(self.upconvs, self.decoders, reversed(skips)):
-            x = upconv(x)
+        x = self._bottleneck_up(x)
+        for i, (upconv, decoder, skip) in enumerate(zip(self.upconvs, self.decoders, reversed(skips))):
+            if i:
+                x = upconv(x)
             x = decoder(Tensor.cat([x, skip], axis=1))
         return self._head(x)
+
+    def _bottleneck_up(self, x: Tensor) -> Tensor:
+        """Bottleneck double conv + the first up-path transposed conv.
+
+        The only decoder link with no skip concatenation in the middle, so it
+        is a straight-line ``conv -> conv -> deconv`` fusible chain; the
+        remaining up-path deconvs sit between concatenations and compile
+        standalone via ``ConvTranspose2d.fusible_chain()``.
+        """
+        return getattr(self, f"up{self.depth - 1}")(self.bottleneck(x))
 
     def _head(self, x: Tensor) -> Tensor:
         return self.tanh(self.head(x))
 
     def fusion_rewrites(self):
-        """Fuse the 1x1 output conv with its tanh head."""
-        return {"_head": [(self.head, None, self.tanh)]}
+        """Fuse the bottleneck->first-up chain and the 1x1 tanh output head."""
+        bottleneck = self.bottleneck
+        first_up = getattr(self, f"up{self.depth - 1}")
+        return {
+            "_bottleneck_up": [
+                (bottleneck.conv1, bottleneck.bn1, bottleneck.relu),
+                (bottleneck.conv2, bottleneck.bn2, bottleneck.relu),
+                (first_up, None, None),
+            ],
+            "_head": [(self.head, None, self.tanh)],
+        }
 
     def fusion_refresh(self) -> None:
         """Rebuild the cached encoder/decoder lists after chain rewriting."""

@@ -11,6 +11,7 @@ from .fusion import (
     CompiledChain,
     FusedChain,
     FusedConvBNAct,
+    FusedConvTranspose,
     FusedInferenceGraph,
     FusionFallbackWarning,
     compile_model,
@@ -45,6 +46,7 @@ __all__ = [
     "CompiledChain",
     "FusedChain",
     "FusedConvBNAct",
+    "FusedConvTranspose",
     "FusedInferenceGraph",
     "FusionFallbackWarning",
     "compile_model",

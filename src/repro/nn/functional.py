@@ -27,6 +27,7 @@ __all__ = [
     "conv2d",
     "conv_bn_act",
     "conv_transpose2d",
+    "conv_transpose_bn_act",
     "avg_pool2d",
     "max_pool2d",
     "batch_norm2d",
@@ -178,9 +179,29 @@ def conv2d(
     return Tensor.from_op(out, parents, backward)
 
 
-#: Activation kinds understood by :func:`conv_bn_act` (and the fused graphs
-#: built on it by :mod:`repro.nn.fusion`).
+#: Activation kinds understood by :func:`conv_bn_act` /
+#: :func:`conv_transpose_bn_act` (and the fused graphs built on them by
+#: :mod:`repro.nn.fusion`).
 FUSED_ACTIVATIONS = ("identity", "relu", "leaky_relu", "tanh")
+
+
+def _check_fused_activation(activation: str, negative_slope: float) -> None:
+    if activation not in FUSED_ACTIVATIONS:
+        raise ValueError(f"unknown fused activation {activation!r}; expected one of {FUSED_ACTIVATIONS}")
+    if activation == "leaky_relu" and not 0.0 <= negative_slope < 1.0:
+        # The in-place max(x, slope*x) identity below needs slope in [0, 1).
+        raise ValueError(f"fused leaky_relu requires 0 <= negative_slope < 1, got {negative_slope}")
+
+
+def _apply_activation_inplace(arr: np.ndarray, activation: str, negative_slope: float) -> None:
+    """Apply a fused activation in place on a cache-hot array."""
+    if activation == "leaky_relu":
+        # max(x, slope*x) == leaky_relu(x) for slope in [0, 1), in place.
+        np.maximum(arr, arr * negative_slope, out=arr)
+    elif activation == "relu":
+        np.maximum(arr, 0.0, out=arr)
+    elif activation == "tanh":
+        np.tanh(arr, out=arr)
 
 
 def conv_bn_act(
@@ -221,11 +242,7 @@ def conv_bn_act(
         2*output_padding)`` buffer whose border is already zero (a fused
         chain's scratch cache); only the interior is written.
     """
-    if activation not in FUSED_ACTIVATIONS:
-        raise ValueError(f"unknown fused activation {activation!r}; expected one of {FUSED_ACTIVATIONS}")
-    if activation == "leaky_relu" and not 0.0 <= negative_slope < 1.0:
-        # The in-place max(x, slope*x) identity below needs slope in [0, 1).
-        raise ValueError(f"fused leaky_relu requires 0 <= negative_slope < 1, got {negative_slope}")
+    _check_fused_activation(activation, negative_slope)
     x = np.asarray(x)
     weight = np.asarray(weight)
     n, c_in, _, _ = x.shape
@@ -267,13 +284,7 @@ def conv_bn_act(
             part = w_mat @ cols
         if bias_col is not None:
             part += bias_col
-        if activation == "leaky_relu":
-            # max(x, slope*x) == leaky_relu(x) for slope in [0, 1), in place.
-            np.maximum(part, part * negative_slope, out=part)
-        elif activation == "relu":
-            np.maximum(part, 0.0, out=part)
-        elif activation == "tanh":
-            np.tanh(part, out=part)
+        _apply_activation_inplace(part, activation, negative_slope)
         if output_padding:
             out[i, :, output_padding : output_padding + h_out, output_padding : output_padding + w_out] = (
                 part.reshape(c_out, h_out, w_out)
@@ -300,12 +311,17 @@ def conv_transpose2d(
     h_out = (h - 1) * stride - 2 * padding + kh
     w_out = (w - 1) * stride - 2 * padding + kw
 
+    # Inference hot path: every step below is either a free view (the weight
+    # matrix and flattened-input reshapes, and col2im's crop) or an
+    # unavoidable buffer (the GEMM result and the scatter image) — the only
+    # per-call allocation beyond those was the bias add, which built a whole
+    # fresh output array (`out = out + bias...`); it now adds in place.
     w_mat = weight.data.reshape(c_in, -1)                    # (C_in, C_out*kh*kw)
     x_mat = x.data.reshape(n, c_in, h * w)                   # (N, C_in, H*W)
     cols = np.matmul(w_mat.T, x_mat)                         # (N, C_out*kh*kw, H*W)
     out = col2im(cols, (n, c_out, h_out, w_out), kh, kw, stride, padding)
     if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
+        out += bias.data.reshape(1, c_out, 1, 1)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 
@@ -321,6 +337,140 @@ def conv_transpose2d(
             bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
 
     return Tensor.from_op(out, parents, backward)
+
+
+def conv_transpose_bn_act(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    activation: str = "identity",
+    negative_slope: float = 0.01,
+    output_padding: int = 0,
+    out: np.ndarray | None = None,
+    scatter: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fused inference kernel: transposed conv (+ folded BN) (+ activation).
+
+    The transposed-conv mirror of :func:`conv_bn_act`, closing the last
+    unfused link of the inference graphs compiled by :mod:`repro.nn.fusion`:
+    ``weight`` (``(C_in, C_out, kh, kw)``, PyTorch transposed layout) already
+    carries the folded eval-mode batch-norm affine, each sample runs one GEMM
+    against the ``(C_in, C_out*kh*kw)`` weight matrix (a free view of the
+    folded weight), and the column block is scattered back to image layout
+    with a vectorized ``col2im``-style strided assignment (non-overlapping
+    kernels, e.g. the UNet 2x2/stride-2 up path) or the per-offset
+    scatter-add (overlapping kernels, e.g. DOINN's 4x4/stride-2 ``dconv*``).
+    Bias and activation are applied in place while the output is cache hot.
+
+    A transposed conv consumes its input unpadded (its ``padding`` *crops*
+    the output), so unlike :func:`conv_bn_act` there is no
+    ``input_is_padded`` switch; the crop itself is fused — the cropped result
+    is emitted directly inside the ``output_padding`` zero border the next
+    conv's padding needs, so a ``dconv -> conv`` chain never materializes the
+    uncropped image followed by a separate pad copy.
+
+    Operates on plain ndarrays (no autograd); training forwards keep using
+    :func:`conv_transpose2d` unchanged.
+
+    Parameters
+    ----------
+    output_padding:
+        Emit the (cropped) result inside a zero border of this width, ready
+        to be consumed pad-free by a following conv with ``padding ==
+        output_padding`` via its ``input_is_padded`` contract.
+    out:
+        Optional preallocated ``(N, C_out, H_out + 2*output_padding, W_out +
+        2*output_padding)`` buffer whose border is already zero; only the
+        interior is written.
+    scatter:
+        Optional per-sample ``(C_out, H_out + 2*padding, W_out + 2*padding)``
+        scratch for the overlapping-kernel scatter (a fused chain's buffer
+        cache); it is fully rewritten every sample, so unlike ``out`` it has
+        no zero-border contract.  Ignored on the non-overlapping fast path.
+    """
+    _check_fused_activation(activation, negative_slope)
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    n, c_in, h, w = x.shape
+    c_in_w, c_out, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv_transpose_bn_act: input has {c_in} channels, weight expects {c_in_w}")
+    h_out = (h - 1) * stride - 2 * padding + kh
+    w_out = (w - 1) * stride - 2 * padding + kw
+    oh, ow = h_out + 2 * output_padding, w_out + 2 * output_padding
+    dtype = np.result_type(x, weight)
+    if out is None:
+        alloc = np.zeros if output_padding else np.empty
+        out = alloc((n, c_out, oh, ow), dtype=dtype)
+    elif out.shape != (n, c_out, oh, ow) or out.dtype != dtype:
+        raise ValueError(
+            f"conv_transpose_bn_act: out buffer has shape {out.shape} dtype {out.dtype}, "
+            f"expected {(n, c_out, oh, ow)} dtype {dtype}"
+        )
+    # Non-overlapping, gap-free, crop-free kernels (stride == kh == kw,
+    # padding == 0 — the UNet up path) scatter-assign straight into the
+    # output buffer; everything else goes through the padded scatter image.
+    direct = padding == 0 and stride == kh and stride == kw
+    if not direct:
+        h_pad, w_pad = h_out + 2 * padding, w_out + 2 * padding
+        if scatter is None:
+            scatter = np.empty((c_out, h_pad, w_pad), dtype=dtype)
+        elif scatter.shape != (c_out, h_pad, w_pad) or scatter.dtype != dtype:
+            raise ValueError(
+                f"conv_transpose_bn_act: scatter buffer has shape {scatter.shape} dtype "
+                f"{scatter.dtype}, expected {(c_out, h_pad, w_pad)} dtype {dtype}"
+            )
+    # The (C_in, C_out*kh*kw) weight matrix is a free view of the folded
+    # weight; BLAS consumes the transpose without a copy.  The per-sample
+    # loop keeps each GEMM cache-resident and partition-invariant (outputs
+    # are bit-identical however a stream is batched or sharded).
+    w_mat = weight.reshape(c_in, c_out * kh * kw)
+    bias_arr = None if bias is None else np.asarray(bias)
+    x_flat = x.reshape(n, c_in, h * w)
+    for i in range(n):
+        cols = np.matmul(w_mat.T, x_flat[i])                 # (C_out*kh*kw, H*W)
+        tiles = cols.reshape(c_out, kh, kw, h, w)
+        if direct:
+            # Bias/activation run on the GEMM output while it is cache hot
+            # (every output pixel receives exactly one contribution), then
+            # one strided assignment writes the kernel tiles into place.
+            if bias_arr is not None:
+                per_channel = cols.reshape(c_out, kh * kw * h * w)
+                per_channel += bias_arr[:, None]
+            _apply_activation_inplace(cols, activation, negative_slope)
+            interior = out[i, :, output_padding : output_padding + h_out, output_padding : output_padding + w_out]
+            sc, sh, sw = interior.strides
+            view = as_strided(
+                interior,
+                shape=(c_out, h, kh, w, kw),
+                strides=(sc, sh * stride, sh, sw * stride, sw),
+            )
+            view[:] = tiles.transpose(0, 3, 1, 4, 2)
+            continue
+        scatter.fill(0.0)
+        if stride >= kh and stride >= kw:
+            # Disjoint windows: one vectorized strided assignment (gaps left
+            # by stride > k stay zero from the fill).
+            sc, sh, sw = scatter.strides
+            view = as_strided(
+                scatter,
+                shape=(c_out, h, kh, w, kw),
+                strides=(sc, sh * stride, sh, sw * stride, sw),
+            )
+            view[:] = tiles.transpose(0, 3, 1, 4, 2)
+        else:
+            for ki in range(kh):
+                i_end = ki + stride * h
+                for kj in range(kw):
+                    scatter[:, ki:i_end:stride, kj : kj + stride * w : stride] += tiles[:, ki, kj]
+        region = scatter[:, padding : padding + h_out, padding : padding + w_out] if padding else scatter
+        if bias_arr is not None:
+            region += bias_arr[:, None, None]
+        _apply_activation_inplace(region, activation, negative_slope)
+        out[i, :, output_padding : output_padding + h_out, output_padding : output_padding + w_out] = region
+    return out
 
 
 # ---------------------------------------------------------------------- #

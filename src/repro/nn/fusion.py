@@ -11,16 +11,40 @@ that chain away:
   carry the folded eval-mode batch-norm affine, with the activation applied on
   the GEMM output tile while it is cache resident
   (:func:`repro.nn.functional.conv_bn_act`).
+* :class:`FusedConvTranspose` — the transposed-conv mirror
+  (:func:`repro.nn.functional.conv_transpose_bn_act`): one GEMM per sample
+  against the precomputed ``(C_in, C_out*kh*kw)`` folded weight matrix plus a
+  vectorized ``col2im`` scatter, so the decoder/upsampling half of a model
+  (DOINN's ``dconv1-3``, the UNet up path) compiles into the same chains as
+  its convolutions.
 * :class:`FusedChain` — a straight-line sequence of fused ops sharing a
   **pad-once buffer cache**: each op emits its result directly inside the zero
   border the *next* op's padding needs, so consecutive same-geometry convs in
   a VGG block consume one padded buffer instead of re-padding (and the scratch
   buffers themselves are reused across calls of the same geometry).
 * :func:`compile_model` — walks a :class:`~repro.nn.layers.Module` tree
-  (``Sequential`` runs, the DOINN/UNet/FNO/DAMO blocks, bare ``Conv2d``
-  layers, and the method-level chains models declare via
+  (``Sequential`` runs, the DOINN/UNet/FNO/DAMO blocks, bare ``Conv2d`` /
+  ``ConvTranspose2d`` layers, and the method-level chains models declare via
   ``fusion_rewrites()``), folds every declared chain, and returns a
   :class:`FusedInferenceGraph`.
+
+Transposed-conv fusion contract (the ``output_padding`` crop-fold):
+
+A transposed convolution consumes its input **unpadded** — its ``padding``
+hyper-parameter crops the scattered output instead of padding the input — so
+inside a chain a ``FusedConvTranspose`` declares ``input_pad == 0`` (the
+preceding op emits a borderless buffer) while still *emitting* its cropped
+result inside the zero border the next conv's padding needs
+(``output_padding``).  The crop is folded into that emission: the kernel
+writes ``scattered[:, padding:-padding, padding:-padding]`` straight into the
+interior of the next op's pre-zeroed entry buffer, so a ``dconv -> conv``
+link (DOINN's ``dconvN -> vggN`` runs, the UNet bottleneck -> first-up chain)
+costs neither a separate crop copy nor a re-pad — the pad-once /
+``input_is_padded`` handshake extends through the whole decoder.
+Overlapping transposed kernels (stride < k) additionally keep a per-geometry
+scatter scratch in the chain's buffer cache; it is fully rewritten every
+sample, so it carries no zero-border contract (and its cache key is
+namespaced apart from the bordered buffers).
 
 The compiled artifact is a **deep copy**: the source model's parameters,
 buffers, train/eval flags and autograd behaviour are untouched (pinned by the
@@ -54,11 +78,12 @@ import warnings
 import numpy as np
 
 from . import functional as F
-from .layers import BatchNorm2d, Conv2d, Identity, Module, Sequential
+from .layers import BatchNorm2d, Conv2d, ConvTranspose2d, Identity, Module, Sequential
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "FusedConvBNAct",
+    "FusedConvTranspose",
     "FusedChain",
     "CompiledChain",
     "FusedInferenceGraph",
@@ -71,10 +96,11 @@ __all__ = [
 class FusionFallbackWarning(UserWarning):
     """A declared fusible chain could not be compiled; the module runs unfused.
 
-    Raised as a *warning*, not an error: an unsupported layer mid-chain (the
-    transposed convolutions of ``dconv*`` / the UNet up path are the canonical
-    case) silently degrading to unfused execution is exactly the failure mode
-    this surfaces.  ``module_path`` names the offending module inside the
+    Raised as a *warning*, not an error: an unsupported layer mid-chain (an
+    activation without fusion metadata, a BatchNorm whose width does not
+    match, a layer that is neither a conv nor a transposed conv) silently
+    degrading to unfused execution is exactly the failure mode this
+    surfaces.  ``module_path`` names the offending module inside the
     compiled copy (e.g. ``"DOINN.reconstruction"``), ``reason`` carries the
     chain-construction error.  The same ``(module_path, reason)`` pairs are
     recorded on :attr:`FusedInferenceGraph.fallbacks` for programmatic checks.
@@ -129,30 +155,48 @@ class FusedConvBNAct:
     def kernel_size(self) -> tuple[int, int]:
         return self.weight.shape[2], self.weight.shape[3]
 
+    # -- chain-op interface (shared with FusedConvTranspose) ------------- #
+    @property
+    def input_pad(self) -> int:
+        """Zero-border width this op wants its input buffer to carry."""
+        return self.padding
+
+    def output_shape(self, input_shape: tuple, output_padding: int) -> tuple:
+        """Output buffer shape for an input buffer that carries ``input_pad``."""
+        n, _, hp, wp = input_shape
+        kh, kw = self.kernel_size
+        h_out = (hp - kh) // self.stride + 1
+        w_out = (wp - kw) // self.stride + 1
+        return (n, self.out_channels, h_out + 2 * output_padding, w_out + 2 * output_padding)
+
+    def scratch_shape(self, input_shape: tuple):
+        """Per-sample scatter scratch this op needs (convolutions need none)."""
+        return None
+
+    def apply(self, buf, out=None, output_padding: int = 0, scratch=None):
+        return F.conv_bn_act(
+            buf,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            activation=self.activation,
+            negative_slope=self.negative_slope,
+            input_is_padded=True,
+            output_padding=output_padding,
+            out=out,
+        )
+
     @classmethod
     def from_modules(cls, conv: Conv2d, bn: BatchNorm2d | None = None, act=None) -> "FusedConvBNAct":
         """Fold one declared ``(conv, bn, activation)`` step into a fused op."""
         if not isinstance(conv, Conv2d):
-            raise TypeError(f"fused chains start from Conv2d layers, got {type(conv).__name__}")
-        weight = conv.weight.data
-        bias = None if conv.bias is None else conv.bias.data
-        if bn is not None:
-            if not isinstance(bn, BatchNorm2d):
-                raise TypeError(f"expected BatchNorm2d after conv, got {type(bn).__name__}")
-            if bn.num_features != conv.out_channels:
-                raise ValueError(
-                    f"cannot fold BatchNorm2d({bn.num_features}) into Conv2d with "
-                    f"{conv.out_channels} output channels"
-                )
-            scale, shift = bn.fold_inference_affine()
-            weight = weight * scale[:, None, None, None]
-            bias = shift if bias is None else bias * scale + shift
-        activation, slope = ("identity", 0.0)
-        if act is not None:
-            fusion_activation = getattr(act, "fusion_activation", None)
-            if fusion_activation is None:
-                raise TypeError(f"{type(act).__name__} declares no fusion_activation()")
-            activation, slope = fusion_activation()
+            raise TypeError(
+                f"fused chain steps start from Conv2d or ConvTranspose2d layers, "
+                f"got {type(conv).__name__}"
+            )
+        weight, bias = _fold_bn(conv, bn, channel_axis=0)
+        activation, slope = _fusion_activation(act)
         return cls(
             weight,
             bias,
@@ -171,15 +215,165 @@ class FusedConvBNAct:
         )
 
 
+def _fold_bn(layer, bn: BatchNorm2d | None, channel_axis: int) -> tuple[np.ndarray, np.ndarray | None]:
+    """Fold an eval-mode BatchNorm affine into a (de)conv's weight and bias.
+
+    ``channel_axis`` locates the output-channel axis of the weight layout:
+    0 for ``Conv2d`` (``(C_out, C_in, kh, kw)``), 1 for ``ConvTranspose2d``
+    (``(C_in, C_out, kh, kw)``).
+    """
+    weight = layer.weight.data
+    bias = None if layer.bias is None else layer.bias.data
+    if bn is None:
+        return weight, bias
+    if not isinstance(bn, BatchNorm2d):
+        raise TypeError(f"expected BatchNorm2d after conv, got {type(bn).__name__}")
+    if bn.num_features != layer.out_channels:
+        raise ValueError(
+            f"cannot fold BatchNorm2d({bn.num_features}) into {type(layer).__name__} "
+            f"with {layer.out_channels} output channels"
+        )
+    scale, shift = bn.fold_inference_affine()
+    expand = [None] * weight.ndim
+    expand[channel_axis] = slice(None)
+    weight = weight * scale[tuple(expand)]
+    bias = shift if bias is None else bias * scale + shift
+    return weight, bias
+
+
+def _fusion_activation(act) -> tuple[str, float]:
+    if act is None:
+        return "identity", 0.0
+    fusion_activation = getattr(act, "fusion_activation", None)
+    if fusion_activation is None:
+        raise TypeError(f"{type(act).__name__} declares no fusion_activation()")
+    return fusion_activation()
+
+
+class FusedConvTranspose:
+    """One fused inference op: transposed conv + folded BN affine + activation.
+
+    ``weight`` is the PyTorch transposed layout ``(C_in, C_out, kh, kw)``
+    with the batch-norm fold already applied along the output-channel axis;
+    execution is :func:`repro.nn.functional.conv_transpose_bn_act` (one GEMM
+    per sample against the ``(C_in, C_out*kh*kw)`` weight matrix plus a
+    vectorized scatter).  Inside a :class:`FusedChain` it consumes its input
+    borderless (``input_pad == 0`` — a transposed conv's ``padding`` crops
+    the output instead of padding the input) and emits the cropped result
+    inside the next op's zero border.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int = 1,
+        padding: int = 0,
+        activation: str = "identity",
+        negative_slope: float = 0.0,
+        label: str = "",
+    ) -> None:
+        if activation not in F.FUSED_ACTIVATIONS:
+            raise ValueError(f"unknown fused activation {activation!r}")
+        self.weight = np.asarray(weight)
+        self.bias = None if bias is None else np.asarray(bias)
+        if self.weight.ndim != 4:
+            raise ValueError(f"fused deconv weight must be 4-D, got shape {self.weight.shape}")
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.activation = activation
+        self.negative_slope = float(negative_slope)
+        self.label = label
+
+    #: A transposed conv consumes unpadded input; ``padding`` crops its output.
+    input_pad = 0
+
+    @property
+    def out_channels(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def kernel_size(self) -> tuple[int, int]:
+        return self.weight.shape[2], self.weight.shape[3]
+
+    def output_shape(self, input_shape: tuple, output_padding: int) -> tuple:
+        n, _, h, w = input_shape
+        kh, kw = self.kernel_size
+        h_out = (h - 1) * self.stride - 2 * self.padding + kh
+        w_out = (w - 1) * self.stride - 2 * self.padding + kw
+        return (n, self.out_channels, h_out + 2 * output_padding, w_out + 2 * output_padding)
+
+    def scratch_shape(self, input_shape: tuple):
+        """Per-sample scatter image for overlapping/cropped kernels.
+
+        The non-overlapping crop-free fast path (``stride == kh == kw``,
+        ``padding == 0`` — the UNet up path) scatters straight into the
+        output buffer and needs no scratch.
+        """
+        kh, kw = self.kernel_size
+        if self.padding == 0 and self.stride == kh and self.stride == kw:
+            return None
+        _, c_out, h_out, w_out = self.output_shape(input_shape, 0)
+        return (c_out, h_out + 2 * self.padding, w_out + 2 * self.padding)
+
+    def apply(self, buf, out=None, output_padding: int = 0, scratch=None):
+        return F.conv_transpose_bn_act(
+            buf,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            activation=self.activation,
+            negative_slope=self.negative_slope,
+            output_padding=output_padding,
+            out=out,
+            scatter=scratch,
+        )
+
+    @classmethod
+    def from_modules(
+        cls, deconv: ConvTranspose2d, bn: BatchNorm2d | None = None, act=None
+    ) -> "FusedConvTranspose":
+        """Fold one declared ``(deconv, bn, activation)`` step into a fused op."""
+        if not isinstance(deconv, ConvTranspose2d):
+            raise TypeError(
+                f"FusedConvTranspose folds ConvTranspose2d layers, got {type(deconv).__name__}"
+            )
+        weight, bias = _fold_bn(deconv, bn, channel_axis=1)
+        activation, slope = _fusion_activation(act)
+        return cls(
+            weight,
+            bias,
+            stride=deconv.stride,
+            padding=deconv.padding,
+            activation=activation,
+            negative_slope=slope,
+            label=f"dconv{'+bn' if bn is not None else ''}{'+' + activation if act is not None else ''}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c_in, c_out, kh, kw = self.weight.shape
+        return (
+            f"FusedConvTranspose({c_in}->{c_out}, k={kh}x{kw}, s={self.stride}, "
+            f"p={self.padding}, act={self.activation})"
+        )
+
+
 class FusedChain:
     """A straight-line sequence of fused ops with a pad-once buffer cache.
 
-    Every op emits its output inside the zero border the next op's padding
-    requires, so the chain pads exactly once (on entry) no matter how many
-    convolutions it contains.  Intermediate buffers (and the entry pad buffer)
-    are cached per geometry and reused across calls — their borders are zeroed
-    once at allocation and never written again; only the final op allocates a
-    fresh array, which is handed to the caller.
+    Every op emits its output inside the zero border the next op's
+    ``input_pad`` requires (transposed convs request a borderless input and
+    fold their output crop into the emission), so the chain pads exactly once
+    (on entry) no matter how many operations it contains.  Intermediate
+    buffers (and the entry pad buffer) are cached per geometry and reused
+    across calls — their borders are zeroed once at allocation and never
+    written again; only the final op allocates a fresh array, which is handed
+    to the caller.  Cache keys are namespaced by buffer family (``"in"`` /
+    ``"out"`` / ``"scatter"``) *and* carry the full shape including the batch
+    dimension, so one compiled engine serving interleaved batch sizes (the
+    ragged final shards of a streamed tile sweep) can never hand a buffer of
+    one geometry to a call of another.
     """
 
     #: Cached working buffers per chain before the cache resets — bounds
@@ -189,7 +383,7 @@ class FusedChain:
     MAX_CACHED_BUFFERS = 32
 
     def __init__(self, ops, label: str = "") -> None:
-        self.ops: list[FusedConvBNAct] = list(ops)
+        self.ops: list = list(ops)  # FusedConvBNAct | FusedConvTranspose
         if not self.ops:
             raise ValueError("a fused chain needs at least one op")
         self.label = label
@@ -229,36 +423,35 @@ class FusedChain:
         return buf
 
     def _output_buffer(self, index: int, shape: tuple, dtype) -> np.ndarray:
-        return self._cached_zeros((index, shape, np.dtype(dtype).str), shape, dtype)
+        return self._cached_zeros(("out", index, shape, np.dtype(dtype).str), shape, dtype)
+
+    def _scatter_buffer(self, index: int, shape: tuple, dtype) -> np.ndarray:
+        # Scatter scratch is fully rewritten per sample — it shares the cache
+        # for reuse/bounding but has no zero-border contract; its "scatter"
+        # namespace keeps it from ever aliasing a bordered "out" buffer of
+        # the same op index and coincidentally equal shape.
+        return self._cached_zeros(("scatter", index, shape, np.dtype(dtype).str), shape, dtype)
 
     # -- execution ------------------------------------------------------ #
     def run(self, x: np.ndarray) -> np.ndarray:
         """Run the chain on an ndarray batch ``(N, C, H, W)`` (inference only)."""
         ops = self.ops
-        buf = self._padded_input(x, ops[0].padding) if ops[0].padding else np.asarray(x)
+        entry_pad = ops[0].input_pad
+        buf = self._padded_input(x, entry_pad) if entry_pad else np.asarray(x)
         for index, op in enumerate(ops):
             nxt = ops[index + 1] if index + 1 < len(ops) else None
-            out_pad = nxt.padding if nxt is not None else 0
+            out_pad = nxt.input_pad if nxt is not None else 0
+            dtype = np.result_type(buf, op.weight)
             out = None
             if nxt is not None:
-                n, _, hp, wp = buf.shape
-                kh, kw = op.kernel_size
-                h_out = (hp - kh) // op.stride + 1
-                w_out = (wp - kw) // op.stride + 1
-                shape = (n, op.out_channels, h_out + 2 * out_pad, w_out + 2 * out_pad)
-                out = self._output_buffer(index, shape, np.result_type(buf, op.weight))
-            buf = F.conv_bn_act(
-                buf,
-                op.weight,
-                op.bias,
-                stride=op.stride,
-                padding=op.padding,
-                activation=op.activation,
-                negative_slope=op.negative_slope,
-                input_is_padded=True,
-                output_padding=out_pad,
-                out=out,
+                out = self._output_buffer(index, op.output_shape(buf.shape, out_pad), dtype)
+            scratch_shape = op.scratch_shape(buf.shape)
+            scratch = (
+                self._scatter_buffer(index, scratch_shape, dtype)
+                if scratch_shape is not None
+                else None
             )
+            buf = op.apply(buf, out=out, output_padding=out_pad, scratch=scratch)
         return buf
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -276,10 +469,22 @@ def _normalize_steps(steps) -> list[tuple]:
     return normalized
 
 
+def _fuse_step(conv, bn, act):
+    """Fold one chain step, dispatching on the conv family."""
+    if isinstance(conv, ConvTranspose2d):
+        return FusedConvTranspose.from_modules(conv, bn, act)
+    return FusedConvBNAct.from_modules(conv, bn, act)
+
+
 def build_chain(steps, label: str = "") -> FusedChain:
-    """Fold declared ``(conv, bn, activation)`` steps into a :class:`FusedChain`."""
+    """Fold declared ``(conv, bn, activation)`` steps into a :class:`FusedChain`.
+
+    The conv element of a step may be a :class:`~repro.nn.layers.Conv2d` or a
+    :class:`~repro.nn.layers.ConvTranspose2d`; chains may mix both freely
+    (e.g. DOINN's ``dconvN -> vggN`` decoder runs).
+    """
     normalized = _normalize_steps(steps)
-    ops = [FusedConvBNAct.from_modules(conv, bn, act) for conv, bn, act in normalized]
+    ops = [_fuse_step(conv, bn, act) for conv, bn, act in normalized]
     return FusedChain(ops, label=label)
 
 
@@ -331,7 +536,7 @@ class _FusedMethod:
 
 
 def _rewrite_sequential(seq: Sequential, chains: list, consumed: set) -> None:
-    """Fuse maximal ``Conv2d [-> BatchNorm2d] [-> activation]`` runs in place.
+    """Fuse maximal ``(Conv2d|ConvTranspose2d) [-> BatchNorm2d] [-> act]`` runs.
 
     The first position of a run becomes a :class:`CompiledChain`; the
     remaining positions become :class:`~repro.nn.layers.Identity` so the
@@ -344,7 +549,7 @@ def _rewrite_sequential(seq: Sequential, chains: list, consumed: set) -> None:
     i = 0
     while i < len(mods):
         module = mods[i]
-        if isinstance(module, Conv2d) and id(module) not in consumed:
+        if isinstance(module, (Conv2d, ConvTranspose2d)) and id(module) not in consumed:
             bn = act = None
             j = i + 1
             if j < len(mods) and isinstance(mods[j], BatchNorm2d) and mods[j].num_features == module.out_channels:
@@ -352,7 +557,7 @@ def _rewrite_sequential(seq: Sequential, chains: list, consumed: set) -> None:
                 j += 1
             if (
                 j < len(mods)
-                and not isinstance(mods[j], Conv2d)
+                and not isinstance(mods[j], (Conv2d, ConvTranspose2d))
                 and getattr(mods[j], "fusion_activation", None) is not None
             ):
                 act = mods[j]

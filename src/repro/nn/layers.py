@@ -261,6 +261,16 @@ class ConvTranspose2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.conv_transpose2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
 
+    # -- fusion metadata ----------------------------------------------- #
+    def fusible_chain(self):
+        """A bare transposed convolution is a one-step fused chain.
+
+        Consumed by :func:`repro.nn.fusion.compile_model` (the UNet up-path
+        deconvs compile this way); the fused op is a
+        :class:`~repro.nn.fusion.FusedConvTranspose`.
+        """
+        return [(self, None, None)]
+
 
 class BatchNorm2d(Module):
     """Batch normalization over the channel dimension."""

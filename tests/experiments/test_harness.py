@@ -49,8 +49,21 @@ def test_get_profile_default_and_env(monkeypatch):
     assert get_profile("full").name == "full"
     monkeypatch.setenv("REPRO_PROFILE", "full")
     assert get_profile().name == "full"
-    with pytest.raises(KeyError):
+
+
+def test_get_profile_unknown_argument_is_a_clean_valueerror():
+    """A bad profile must raise ValueError (a raw KeyError repr-mangles the
+    message at the CLI) naming the argument and listing what is available."""
+    with pytest.raises(ValueError, match=r"unknown profile 'huge'.*full.*quick"):
         get_profile("huge")
+
+
+def test_get_profile_unknown_env_var_is_a_clean_valueerror(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "Enormous")
+    with pytest.raises(ValueError, match=r"unknown REPRO_PROFILE 'enormous'.*full.*quick"):
+        get_profile()
+    # An explicit argument still wins over a bogus environment value.
+    assert get_profile("quick").name == "quick"
 
 
 def test_digest_is_stable_and_sensitive():

@@ -36,7 +36,7 @@ from repro.nn import (
     no_grad,
 )
 from repro.nn import functional as F
-from repro.nn.fusion import FusedConvBNAct, build_chain
+from repro.nn.fusion import FusedConvBNAct, FusedConvTranspose, build_chain
 
 TOL = dict(rtol=1e-12, atol=1e-12)
 
@@ -139,6 +139,112 @@ def test_conv_bn_act_validates_arguments(rng):
         F.conv_bn_act(x, w, padding=1, out=np.zeros((1, 3, 4, 4)))
 
 
+# --------------------------------------------------------------------- #
+# conv_transpose_bn_act kernel vs the unfused path
+# --------------------------------------------------------------------- #
+# (kernel, stride, padding, activation): the DOINN dconv geometry (4/2/1,
+# overlapping windows), the UNet up-path geometry (2/2/0, non-overlapping
+# fast path), stride-1 overlap, a gapped stride > k corner, and a crop with
+# non-overlapping windows.
+_DECONV_CONFIGS = [
+    (4, 2, 1, "leaky_relu"),
+    (2, 2, 0, "identity"),
+    (3, 1, 1, "relu"),
+    (2, 3, 0, "tanh"),
+    (2, 2, 1, "relu"),
+]
+
+
+@pytest.mark.parametrize("k,stride,padding,activation", _DECONV_CONFIGS)
+@pytest.mark.parametrize("size", [(8, 8), (7, 9)])  # even / odd-rectangular
+def test_conv_transpose_bn_act_matches_unfused_passes(rng, k, stride, padding, activation, size):
+    h, w = size
+    x = rng.standard_normal((2, 3, h, w))
+    deconv = nn.ConvTranspose2d(3, 5, k, stride=stride, padding=padding, rng=rng)
+    bn = BatchNorm2d(5)
+    _randomize_bn(bn, rng)
+    act = {"leaky_relu": LeakyReLU(0.2), "relu": ReLU(), "tanh": Tanh(), "identity": None}[activation]
+
+    op = FusedConvTranspose.from_modules(deconv, bn, act)
+    fused = F.conv_transpose_bn_act(
+        x, op.weight, op.bias, stride=stride, padding=padding,
+        activation=op.activation, negative_slope=op.negative_slope,
+    )
+
+    with eval_mode(bn), no_grad():
+        ref = bn(F.conv_transpose2d(Tensor(x), deconv.weight, deconv.bias, stride=stride, padding=padding))
+        if act is not None:
+            ref = act(ref)
+    np.testing.assert_allclose(fused, ref.numpy(), **TOL)
+
+
+@pytest.mark.parametrize("batch", [1, 2, 4])
+def test_conv_transpose_bn_act_without_bn_matches_conv_transpose2d(rng, batch):
+    x = rng.standard_normal((batch, 3, 9, 9))
+    deconv = nn.ConvTranspose2d(3, 2, 4, stride=2, padding=1, rng=rng)
+    fused = F.conv_transpose_bn_act(x, deconv.weight.data, deconv.bias.data, stride=2, padding=1)
+    with no_grad():
+        ref = F.conv_transpose2d(Tensor(x), deconv.weight, deconv.bias, stride=2, padding=1).numpy()
+    np.testing.assert_allclose(fused, ref, **TOL)
+
+
+@pytest.mark.parametrize("k,stride,padding", [(4, 2, 1), (2, 2, 0)])
+def test_conv_transpose_bn_act_output_padding_emits_zero_border(rng, k, stride, padding):
+    x = rng.standard_normal((2, 3, 8, 8))
+    w = rng.standard_normal((3, 4, k, k))
+    plain = F.conv_transpose_bn_act(x, w, None, stride=stride, padding=padding)
+    padded = F.conv_transpose_bn_act(x, w, None, stride=stride, padding=padding, output_padding=2)
+    assert padded.shape == (2, 4, plain.shape[2] + 4, plain.shape[3] + 4)
+    np.testing.assert_array_equal(padded[:, :, 2:-2, 2:-2], plain)
+    border = padded.copy()
+    border[:, :, 2:-2, 2:-2] = 0.0
+    assert not border.any()
+
+
+def test_conv_transpose_bn_act_feeds_input_is_padded_conv(rng):
+    """The crop-fold handshake: a deconv's bordered emission is consumed
+    pad-free by the following conv exactly as a separate crop + pad would be."""
+    x = rng.standard_normal((2, 3, 8, 8))
+    wd = rng.standard_normal((3, 4, 4, 4))
+    wc = rng.standard_normal((5, 4, 3, 3))
+    mid_padded = F.conv_transpose_bn_act(x, wd, None, stride=2, padding=1, output_padding=1)
+    chained = F.conv_bn_act(mid_padded, wc, None, stride=1, padding=1, input_is_padded=True)
+    mid = F.conv_transpose_bn_act(x, wd, None, stride=2, padding=1)
+    ref = F.conv_bn_act(mid, wc, None, stride=1, padding=1)
+    np.testing.assert_array_equal(chained, ref)
+
+
+def test_conv_transpose_bn_act_validates_arguments(rng):
+    x = rng.standard_normal((1, 2, 6, 6))
+    w = rng.standard_normal((2, 3, 4, 4))
+    with pytest.raises(ValueError, match="activation"):
+        F.conv_transpose_bn_act(x, w, activation="softmax")
+    with pytest.raises(ValueError, match="negative_slope"):
+        F.conv_transpose_bn_act(x, w, activation="leaky_relu", negative_slope=1.5)
+    with pytest.raises(ValueError, match="channels"):
+        F.conv_transpose_bn_act(x, rng.standard_normal((3, 2, 4, 4)))
+    with pytest.raises(ValueError, match="out buffer"):
+        F.conv_transpose_bn_act(x, w, stride=2, padding=1, out=np.zeros((1, 3, 4, 4)))
+    with pytest.raises(ValueError, match="scatter buffer"):
+        F.conv_transpose_bn_act(x, w, stride=2, padding=1, scatter=np.zeros((3, 2, 2)))
+
+
+def test_fused_conv_transpose_folds_bn_along_output_axis(rng):
+    """The transposed weight layout is (C_in, C_out, kh, kw): the fold must
+    scale axis 1, not axis 0 (they differ whenever C_in != C_out)."""
+    deconv = nn.ConvTranspose2d(3, 5, 2, stride=2, rng=rng)
+    bn = BatchNorm2d(5)
+    _randomize_bn(bn, rng)
+    op = FusedConvTranspose.from_modules(deconv, bn, None)
+    scale, shift = bn.fold_inference_affine()
+    np.testing.assert_allclose(op.weight, deconv.weight.data * scale[None, :, None, None], **TOL)
+    np.testing.assert_allclose(op.bias, deconv.bias.data * scale + shift, **TOL)
+    with pytest.raises(ValueError, match="cannot fold"):
+        FusedConvTranspose.from_modules(deconv, BatchNorm2d(4), None)
+    with pytest.raises(TypeError, match="ConvTranspose2d"):
+        FusedConvTranspose.from_modules(Conv2d(3, 5, 3, rng=rng), None, None)
+
+
 def test_fold_inference_affine_matches_eval_batchnorm(rng):
     bn = BatchNorm2d(4)
     _randomize_bn(bn, rng)
@@ -201,6 +307,92 @@ def test_fused_chain_pickles_without_scratch(rng):
     np.testing.assert_array_equal(clone.run(x), expected)
 
 
+# --------------------------------------------------------------------- #
+# Mixed chains: transposed convolutions composed with convolutions
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("batch", [1, 2, 4])
+def test_deconv_vgg_chain_matches_modules(rng, batch):
+    """The DOINN decoder-stage shape: dconv (4x4 s2 p1) -> VGG block."""
+    deconv = nn.ConvTranspose2d(6, 4, 4, stride=2, padding=1, rng=rng)
+    block = VGGBlock(4, 4, rng=rng)
+    _randomize_bn(block.bn1, rng)
+    _randomize_bn(block.bn2, rng)
+    chain = build_chain(
+        [(deconv, None, None), (block.conv1, block.bn1, block.act), (block.conv2, block.bn2, block.act)],
+        label="dconv+vgg",
+    )
+    x = rng.standard_normal((batch, 6, 9, 7))
+    with eval_mode(block), no_grad():
+        ref = block(deconv(Tensor(x))).numpy()
+    np.testing.assert_allclose(chain.run(x), ref, **TOL)
+    # Run twice: the scatter scratch and bordered buffers are reused.
+    np.testing.assert_allclose(chain.run(x), ref, **TOL)
+
+
+def test_conv_conv_deconv_chain_matches_modules(rng):
+    """The UNet bottleneck->first-up shape: conv -> conv -> dconv (2x2 s2)."""
+    conv1 = Conv2d(3, 4, 3, padding=1, rng=rng)
+    bn1 = BatchNorm2d(4)
+    conv2 = Conv2d(4, 4, 3, padding=1, rng=rng)
+    bn2 = BatchNorm2d(4)
+    relu = ReLU()
+    deconv = nn.ConvTranspose2d(4, 2, 2, stride=2, rng=rng)
+    _randomize_bn(bn1, rng)
+    _randomize_bn(bn2, rng)
+    chain = build_chain(
+        [(conv1, bn1, relu), (conv2, bn2, relu), (deconv, None, None)], label="bottleneck+up"
+    )
+    x = rng.standard_normal((2, 3, 8, 8))
+    with eval_mode(bn1), eval_mode(bn2), no_grad():
+        mid = relu(bn2(conv2(relu(bn1(conv1(Tensor(x)))))))
+        ref = deconv(mid).numpy()
+    np.testing.assert_allclose(chain.run(x), ref, **TOL)
+
+
+def test_deconv_chain_with_folded_bn_and_activation(rng):
+    """A dconv -> BN -> LeakyReLU step folds and chains like a conv step."""
+    deconv = nn.ConvTranspose2d(3, 4, 4, stride=2, padding=1, rng=rng)
+    bn = BatchNorm2d(4)
+    act = LeakyReLU(0.2)
+    _randomize_bn(bn, rng)
+    out_conv = Conv2d(4, 1, 3, padding=1, rng=rng)
+    chain = build_chain([(deconv, bn, act), (out_conv, None, None)])
+    x = rng.standard_normal((2, 3, 8, 8))
+    with eval_mode(bn), no_grad():
+        ref = out_conv(act(bn(deconv(Tensor(x))))).numpy()
+    np.testing.assert_allclose(chain.run(x), ref, **TOL)
+
+
+def test_fused_chain_alternating_batch_sizes(rng):
+    """Satellite regression: one chain serving interleaved batch sizes (the
+    ragged final shards of streamed tile sweeps) must never cross-contaminate
+    its cached buffers — every call matches a fresh-chain run of the same
+    batch, whatever N came before it."""
+    deconv = nn.ConvTranspose2d(3, 4, 4, stride=2, padding=1, rng=rng)
+    block = VGGBlock(4, 4, rng=rng)
+    _randomize_bn(block.bn1, rng)
+    _randomize_bn(block.bn2, rng)
+    steps = [(deconv, None, None), (block.conv1, block.bn1, block.act), (block.conv2, block.bn2, block.act)]
+    chain = build_chain(steps)
+    batches = {n: rng.standard_normal((n, 3, 8, 8)) for n in (4, 1, 3, 2)}
+    expected = {n: build_chain(steps).run(x) for n, x in batches.items()}
+    for n in (4, 1, 3, 4, 2, 1, 3, 4):
+        np.testing.assert_array_equal(chain.run(batches[n]), expected[n], err_msg=f"N={n}")
+
+
+def test_fused_chain_scratch_keys_are_namespaced(rng):
+    """Bordered output buffers and the (fully-rewritten, borderless) scatter
+    scratch of one op index must live under distinct cache keys."""
+    deconv = nn.ConvTranspose2d(2, 3, 4, stride=2, padding=1, rng=rng)
+    conv = Conv2d(3, 1, 3, padding=1, rng=rng)
+    chain = build_chain([(deconv, None, None), (conv, None, None)])
+    chain.run(rng.standard_normal((1, 2, 8, 8)))
+    # No entry pad (a deconv consumes borderless input): the deconv's bordered
+    # output buffer and its scatter image, nothing else — in separate families.
+    families = {key[0] for key in chain._scratch}
+    assert families == {"out", "scatter"}
+
+
 def test_sequential_fusion_merges_conv_runs(rng):
     net = Sequential(
         Conv2d(1, 3, 3, padding=1, rng=rng),
@@ -223,6 +415,29 @@ def test_sequential_fusion_merges_conv_runs(rng):
     compiled_children = list(graph.module)
     assert isinstance(compiled_children[0], CompiledChain)
     assert all(isinstance(m, Identity) for m in compiled_children[1:])
+    with no_grad():
+        np.testing.assert_allclose(graph(Tensor(x)).numpy(), _eval_forward(net, x), **TOL)
+
+
+def test_sequential_fusion_merges_deconv_runs(rng):
+    """A Sequential mixing convs and transposed convs fuses as one chain."""
+    net = Sequential(
+        Conv2d(1, 3, 3, padding=1, rng=rng),
+        BatchNorm2d(3),
+        LeakyReLU(0.2),
+        nn.ConvTranspose2d(3, 3, 2, stride=2, rng=rng),
+        ReLU(),
+        Conv2d(3, 1, 3, padding=1, rng=rng),
+        Tanh(),
+    )
+    for module in net:
+        if isinstance(module, BatchNorm2d):
+            _randomize_bn(module, rng)
+    x = rng.standard_normal((2, 1, 9, 9))
+    graph = compile_model(net)
+    assert len(graph.chains) == 1
+    assert graph.num_fused_ops == 3
+    assert any(isinstance(op, FusedConvTranspose) for op in graph.chains[0].ops)
     with no_grad():
         np.testing.assert_allclose(graph(Tensor(x)).numpy(), _eval_forward(net, x), **TOL)
 
@@ -355,6 +570,32 @@ def test_training_gradients_unchanged_by_compile(zoo_model, tiny_model_factory, 
         np.testing.assert_array_equal(grad, grads["twin"][p_name], err_msg=p_name)
 
 
+@pytest.mark.parametrize("name", ["doinn", "unet"])
+def test_deconv_training_gradients_unchanged_by_compile(name, tiny_model_factory, rng):
+    """Gradient pin on the transposed convs specifically: compiling a model
+    whose decoder is now fused must leave the ConvTranspose2d parameters'
+    training gradients bit-for-bit identical to an untouched twin's."""
+    model = tiny_model_factory(name)
+    twin = tiny_model_factory(name)
+    compile_model(model)
+    x = rng.random((2, 1, 32, 32))
+    grads = {}
+    for tag, net in (("compiled-source", model), ("twin", twin)):
+        net.train()
+        out = net(Tensor(x.copy()))
+        out.backward(np.ones(out.shape))
+        grads[tag] = {
+            p_name: p.grad.copy()
+            for p_name, p in net.named_parameters()
+            if "dconv" in p_name or p_name.startswith("up")
+        }
+        net.zero_grad()
+    assert grads["compiled-source"], f"{name} exposes no transposed-conv parameters"
+    assert grads["compiled-source"].keys() == grads["twin"].keys()
+    for p_name, grad in grads["compiled-source"].items():
+        np.testing.assert_array_equal(grad, grads["twin"][p_name], err_msg=p_name)
+
+
 def test_bn_buffers_survive_compile_and_state_dict_round_trip(tiny_model_factory, rng):
     """Satellite: running statistics are intact through compile -> state_dict
     -> load_state_dict, and a recompile of the restored weights matches."""
@@ -382,19 +623,20 @@ def test_bn_buffers_survive_compile_and_state_dict_round_trip(tiny_model_factory
 # Broken-chain fallbacks: warned, recorded, never silent (PR 4 satellite)
 # --------------------------------------------------------------------- #
 class _BrokenChainBlock(nn.Module):
-    """Declares a fusible chain that a transposed conv breaks mid-chain."""
+    """Declares a fusible chain that an unfusible activation breaks mid-chain."""
 
     def __init__(self, rng=None) -> None:
         super().__init__()
         self.conv = Conv2d(1, 4, 3, padding=1, rng=rng)
         self.dconv = nn.ConvTranspose2d(4, 4, 2, stride=2, rng=rng)
-        self.act = ReLU()
+        self.act = Sigmoid()
 
     def forward(self, x: Tensor) -> Tensor:
         return self.act(self.dconv(self.conv(x)))
 
     def fusible_chain(self):
-        # Deliberately invalid: ConvTranspose2d cannot start a fused op.
+        # Deliberately invalid: Sigmoid declares no fusion_activation(), so
+        # the (otherwise fusible) conv -> dconv chain cannot compile.
         return [(self.conv, None, None), (self.dconv, None, self.act)]
 
 
@@ -420,7 +662,7 @@ def test_broken_chain_falls_back_with_structured_warning(rng):
     # The warning is structured: it names the module path inside the tree
     # and carries the chain-construction failure as the reason.
     assert warning.module_path == "_HostModel.up"
-    assert "ConvTranspose2d" in warning.reason
+    assert "fusion_activation" in warning.reason
     assert graph.fallbacks == [(warning.module_path, warning.reason)]
     # The broken declaration degraded to unfused execution — not silence,
     # not a crash — while the healthy sibling chain still compiled.
@@ -438,16 +680,17 @@ def test_broken_method_rewrite_keeps_unfused_method(rng):
         def __init__(self) -> None:
             super().__init__()
             self.dconv = nn.ConvTranspose2d(1, 2, 2, stride=2, rng=rng)
-            self.tanh = Tanh()
+            self.sigmoid = Sigmoid()
 
         def forward(self, x: Tensor) -> Tensor:
             return self._head(x)
 
         def _head(self, x: Tensor) -> Tensor:
-            return self.tanh(self.dconv(x))
+            return self.sigmoid(self.dconv(x))
 
         def fusion_rewrites(self):
-            return {"_head": [(self.dconv, None, self.tanh)]}
+            # Sigmoid has no fusion metadata, so this declaration is broken.
+            return {"_head": [(self.dconv, None, self.sigmoid)]}
 
     model = _BrokenRewrite()
     with pytest.warns(FusionFallbackWarning) as record:
@@ -460,11 +703,23 @@ def test_broken_method_rewrite_keeps_unfused_method(rng):
 
 
 def test_transposed_conv_up_paths_compile_without_fallback(zoo_model):
-    """The real models' transposed convs (DOINN dconv*, the UNet up path,
-    FNO/DAMO heads) are undeclared by design — compiling the whole zoo must
-    raise no fallback warning and record no fallback."""
+    """Contract flip (PR 5): the transposed convs are no longer exempt-by-
+    omission — DOINN's ``dconvN -> vggN`` stages and the UNet up path are
+    *declared* fusible chains now, so compiling the whole zoo must raise no
+    fallback warning, record no fallback, and actually emit fused
+    transposed-conv ops for the models that have them."""
     name, model = zoo_model
     with warnings.catch_warnings():
         warnings.simplefilter("error", FusionFallbackWarning)
         graph = compile_model(model)
     assert graph.fallbacks == []
+    deconv_ops = sum(
+        isinstance(op, FusedConvTranspose) for chain in graph.chains for op in chain.ops
+    )
+    source_deconvs = sum(isinstance(m, nn.ConvTranspose2d) for m in model.modules())
+    assert deconv_ops == source_deconvs, (
+        f"{name}: {source_deconvs} transposed convs in the source model but only "
+        f"{deconv_ops} fused transposed-conv ops in the compiled graph"
+    )
+    if name in ("doinn", "unet"):
+        assert deconv_ops > 0

@@ -121,8 +121,50 @@ def test_pipeline_compile_rejects_simulator_engines():
 
 
 # --------------------------------------------------------------------- #
+# Interleaved batch sizes through one compiled engine (satellite regression)
+# --------------------------------------------------------------------- #
+def test_compiled_executor_alternating_batch_sizes(zoo_model):
+    """One compiled engine serving interleaved batch sizes (streaming +
+    shard_tiles produces ragged final shards) must match the unfused executor
+    on every call — a shape-key collision in the fused chains' buffer cache
+    would poison whichever geometry ran second."""
+    name, model = zoo_model
+    masks = _random_masks(5, 32, seed=23)[:, None]
+    plain = ModelExecutor(model)
+    fused = ModelExecutor(model, compile=True)
+    for n in (4, 1, 3, 4, 2, 5, 1, 4):
+        batch = masks[:n]
+        np.testing.assert_allclose(
+            fused.run_batch(batch), plain.run_batch(batch), err_msg=f"{name} N={n}", **TOL
+        )
+
+
+def test_compiled_pipeline_alternating_batch_sizes(model):
+    masks = _random_masks(6, 32, seed=31)
+    plain = InferencePipeline(model, batch_size=4)
+    fused = InferencePipeline(model, batch_size=4, compile=True)
+    # Ragged splits: 6 masks at bs=4 -> shards of 4 and 2; then bs=3 -> 3+3;
+    # then bs=5 -> 5+1 — all through the same compiled engine.
+    for bs in (4, 3, 5, 4, 1):
+        np.testing.assert_allclose(
+            fused.predict(masks, batch_size=bs), plain.predict(masks, batch_size=bs),
+            err_msg=f"batch_size={bs}", **TOL,
+        )
+
+
+# --------------------------------------------------------------------- #
 # Composition with the worker pool
 # --------------------------------------------------------------------- #
+def test_compiled_unet_composes_with_worker_pool(tiny_model_factory):
+    """The new fused transposed-conv chains (UNet up path) must stay
+    bit-identical under worker-pool sharding, like every other fused op."""
+    unet = tiny_model_factory("unet")
+    masks = _random_masks(6, 32, seed=13)
+    reference = InferencePipeline(unet, batch_size=2, compile=True).predict(masks)
+    with InferencePipeline(unet, batch_size=2, num_workers=2, compile=True) as parallel:
+        np.testing.assert_array_equal(parallel.predict(masks), reference)
+
+
 def test_compiled_composes_with_worker_pool(model):
     masks = _random_masks(6, 32)
     serial = InferencePipeline(model, batch_size=4, compile=True)
