@@ -14,12 +14,13 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # The stages partition the tier-1 suite (no test runs twice): everything
-# except the fusion and streaming/parallel files first, then each suite as
-# its own visibly-labelled gate.
+# except the fusion, streaming/parallel and incremental/caching files first,
+# then each suite as its own visibly-labelled gate.
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider tests \
     --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py \
-    --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py "$@"
+    --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py \
+    --ignore=tests/pipeline/test_cache.py --ignore=tests/opc/test_incremental.py "$@"
 
 # -W error::FusionFallbackWarning: a fallback silently re-appearing anywhere
 # in the zoo (e.g. a transposed-conv declaration rotting back to unfused)
@@ -34,6 +35,10 @@ python -m pytest -x -q -p no:cacheprovider \
 echo "== streaming + parallel worker-pool suites (pooled == serial, bit for bit) =="
 python -m pytest -x -q -p no:cacheprovider \
     tests/pipeline/test_parallel.py tests/pipeline/test_streaming.py "$@"
+
+echo "== incremental OPC + result-cache suites (patched == full re-simulation, bit for bit) =="
+python -m pytest -x -q -p no:cacheprovider \
+    tests/pipeline/test_cache.py tests/opc/test_incremental.py "$@"
 
 # The whole run must leave /dev/shm clean: every pipeline segment is named
 # repro_<pid>_<token> and owned by the registry in repro.pipeline.streaming.

@@ -41,7 +41,14 @@ def run_figure8(
     )
     engine = OPCEngine(
         simulator,
-        OPCConfig(iterations=harness.profile.opc_iterations, record_history=True),
+        OPCConfig(
+            iterations=harness.profile.opc_iterations,
+            record_history=True,
+            # The snapshot sims below re-simulate the exact masks the OPC
+            # loop already pushed through this pipeline, so with the result
+            # cache on they are all content-hash hits (free).
+            result_cache=True,
+        ),
     )
     opc_run = engine.correct(layout)
     snapshots = opc_run.mask_history[: harness.profile.opc_iterations]
@@ -51,7 +58,7 @@ def run_figure8(
 
     iterations, doinn_miou, unet_miou = [], [], []
     for index, mask in enumerate(snapshots):
-        golden = simulator.resist_image(mask)
+        golden = engine.pipeline.predict(mask)
         batch = mask[None, None]
         doinn_pred = doinn.predict(batch)[0, 0]
         unet_pred = unet.predict(batch)[0, 0]
@@ -59,6 +66,8 @@ def run_figure8(
         doinn_miou.append(mean_iou(doinn_pred, golden))
         unet_miou.append(mean_iou(unet_pred, golden))
 
+    cache = engine.pipeline.result_cache
+    counters = opc_run.counters
     return {
         "iterations": iterations,
         "doinn_miou": doinn_miou,
@@ -67,6 +76,16 @@ def run_figure8(
         "unet_final": unet_miou[-1],
         "doinn_mean": float(np.mean(doinn_miou)),
         "unet_mean": float(np.mean(unet_miou)),
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+        "dirty_history": list(opc_run.dirty_history),
+        "sim_counters": None if counters is None else {
+            "full_refreshes": counters.full_refreshes,
+            "patched_calls": counters.patched_calls,
+            "clean_calls": counters.clean_calls,
+            "tiles_simulated": counters.tiles_simulated,
+            "tiles_skipped": counters.tiles_skipped,
+        },
     }
 
 

@@ -28,6 +28,7 @@ def run_table4(
     num_workers: int | None = None,
     streaming: bool | None = None,
     shard_tiles: bool | None = None,
+    result_cache: bool | int | None = None,
 ) -> dict:
     """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles.
 
@@ -35,7 +36,9 @@ def run_table4(
     pool; ``streaming`` keeps the pool's shared-memory segments alive across
     the two rows and ``shard_tiles`` (default: on when pooled) lets the
     "DOINN-LT" row shard the tiles of each large mask across all workers.
-    The predictions are bit-identical to the serial path in every mode.
+    ``result_cache`` memoises per-mask predictions by content hash (useful
+    when the same large masks are replayed). The predictions are
+    bit-identical to the serial path in every mode.
     """
     harness = harness or Harness()
     profile = harness.profile
@@ -60,6 +63,7 @@ def run_table4(
         num_workers=num_workers,
         streaming=streaming,
         shard_tiles=shard_tiles,
+        result_cache=result_cache,
     )
     naive_predictions = pipeline.predict_naive(large.masks)
     lt_predictions = pipeline.predict(large.masks, stitch=True)

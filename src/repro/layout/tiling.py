@@ -12,8 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["TileSpec", "extract_tiles", "stitch_cores", "split_image", "assemble_image"]
+__all__ = [
+    "TileSpec",
+    "extract_tiles",
+    "stitch_cores",
+    "split_image",
+    "assemble_image",
+    "tile_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -31,12 +39,35 @@ class TileSpec:
     size: int
 
 
+def tile_grid(shape: tuple[int, int], tile_size: int) -> list[TileSpec]:
+    """Tile specs of the half-overlapping grid, without touching pixel data.
+
+    Row-major scan order, stride ``tile_size // 2`` — exactly the grid (and
+    ordering) :func:`extract_tiles` produces.  Exposed separately so planners
+    (e.g. the incremental re-simulation state) can reason about the grid
+    before any mask exists.
+    """
+    h, w = shape
+    if h % tile_size or w % tile_size:
+        raise ValueError(f"image size {(h, w)} is not a multiple of tile size {tile_size}")
+    stride = tile_size // 2
+    n_rows = (h - tile_size) // stride + 1
+    n_cols = (w - tile_size) // stride + 1
+    return [
+        TileSpec(row=row, col=col, y0=row * stride, x0=col * stride, size=tile_size)
+        for row in range(n_rows)
+        for col in range(n_cols)
+    ]
+
+
 def extract_tiles(image: np.ndarray, tile_size: int) -> tuple[np.ndarray, list[TileSpec]]:
     """Cut ``image`` into half-overlapping ``tile_size``-sized tiles.
 
     The stride is ``tile_size // 2`` so consecutive tiles overlap by half, as
     required by the paper's large-tile scheme.  The image must be an integer
-    multiple of ``tile_size`` in both dimensions.
+    multiple of ``tile_size`` in both dimensions.  The tile copies are
+    gathered through one strided window view instead of a per-tile Python
+    loop (bit-identical; pinned by ``tests/layout/test_rasterize_tiling.py``).
 
     Returns
     -------
@@ -45,21 +76,10 @@ def extract_tiles(image: np.ndarray, tile_size: int) -> tuple[np.ndarray, list[T
     specs:
         Tile locations, in the same order.
     """
-    h, w = image.shape
-    if h % tile_size or w % tile_size:
-        raise ValueError(f"image size {(h, w)} is not a multiple of tile size {tile_size}")
+    specs = tile_grid(image.shape, tile_size)
     stride = tile_size // 2
-    n_rows = (h - tile_size) // stride + 1
-    n_cols = (w - tile_size) // stride + 1
-    tiles = np.empty((n_rows * n_cols, tile_size, tile_size), dtype=image.dtype)
-    specs: list[TileSpec] = []
-    index = 0
-    for row in range(n_rows):
-        for col in range(n_cols):
-            y0, x0 = row * stride, col * stride
-            tiles[index] = image[y0 : y0 + tile_size, x0 : x0 + tile_size]
-            specs.append(TileSpec(row=row, col=col, y0=y0, x0=x0, size=tile_size))
-            index += 1
+    windows = sliding_window_view(image, (tile_size, tile_size))[::stride, ::stride]
+    tiles = np.ascontiguousarray(windows.reshape(-1, tile_size, tile_size))
     return tiles, specs
 
 
@@ -105,20 +125,25 @@ def stitch_cores(
 
 
 def split_image(image: np.ndarray, tile_size: int) -> tuple[np.ndarray, list[TileSpec]]:
-    """Cut an image into non-overlapping tiles (utility for batching)."""
+    """Cut an image into non-overlapping tiles (utility for batching).
+
+    The copy is a single reshape/transpose instead of a per-tile Python loop;
+    output (values, order, dtype) is bit-identical to the loop formulation.
+    """
     h, w = image.shape
     if h % tile_size or w % tile_size:
         raise ValueError(f"image size {(h, w)} is not a multiple of tile size {tile_size}")
     n_rows, n_cols = h // tile_size, w // tile_size
-    tiles = np.empty((n_rows * n_cols, tile_size, tile_size), dtype=image.dtype)
-    specs = []
-    index = 0
-    for row in range(n_rows):
-        for col in range(n_cols):
-            y0, x0 = row * tile_size, col * tile_size
-            tiles[index] = image[y0 : y0 + tile_size, x0 : x0 + tile_size]
-            specs.append(TileSpec(row=row, col=col, y0=y0, x0=x0, size=tile_size))
-            index += 1
+    tiles = np.ascontiguousarray(
+        image.reshape(n_rows, tile_size, n_cols, tile_size)
+        .swapaxes(1, 2)
+        .reshape(n_rows * n_cols, tile_size, tile_size)
+    )
+    specs = [
+        TileSpec(row=row, col=col, y0=row * tile_size, x0=col * tile_size, size=tile_size)
+        for row in range(n_rows)
+        for col in range(n_cols)
+    ]
     return tiles, specs
 
 

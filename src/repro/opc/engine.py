@@ -4,10 +4,28 @@ The engine reproduces the mask-correction loop that generated the paper's
 training masks and the 24-iteration snapshots of Figure 8: fragment the target
 edges, simulate the current mask with the golden simulator, measure the edge
 placement error at every fragment and move each fragment against its error.
+
+Incremental re-simulation
+-------------------------
+Each move step perturbs a handful of fragment offsets, so most of the mask —
+and, by the finite optical influence radius, most of the aerial image — is
+unchanged between iterations.  With ``incremental`` enabled (the default) the
+loop runs through :meth:`repro.pipeline.InferencePipeline.predict_patched`:
+a static fragment->tile index (:class:`~repro.opc.fragments.FragmentTileIndex`)
+narrows the windows a move step can have touched, per-window content hashes
+confirm the actually-dirty ones, and only those are re-simulated — their
+ownership regions spliced into a cached full-image aerial.  A hybrid cost
+model falls back to one native whole-mask refresh when the dirty set is large
+(early iterations), so the incremental loop never loses materially to the
+plain one; the savings grow as fragments converge — especially with
+``freeze_after``, which is what actually collapses the dirty set (a converged
+fragment otherwise keeps jittering across the pixel-rounding boundary and
+keeps its windows dirty forever).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,12 +33,46 @@ import numpy as np
 from ..layout.geometry import Layout
 from ..layout.rasterize import rasterize
 from ..litho.simulator import LithoSimulator
-from ..pipeline import InferencePipeline
-from .epe import EPEStatistics, measure_fragment_epe, measure_layout_epe
-from .fragments import FragmentedShape, build_mask, fragment_layout
+from ..pipeline import IncrementalCounters, InferencePipeline
+from .epe import EPEStatistics, measure_layout_epe
+from .fragments import FragmentedShape, FragmentTileIndex, build_mask, fragment_layout
 from .sraf import insert_srafs, sraf_rects_pixels
 
-__all__ = ["OPCConfig", "OPCResult", "OPCEngine", "rule_based_retarget"]
+__all__ = [
+    "INCREMENTAL_ENV",
+    "MaskHistory",
+    "OPCConfig",
+    "OPCResult",
+    "OPCEngine",
+    "resolve_incremental",
+    "rule_based_retarget",
+]
+
+#: Environment variable consulted when ``OPCConfig.incremental`` is ``None``.
+INCREMENTAL_ENV = "REPRO_INCREMENTAL_OPC"
+
+_TRUE_FLAGS = ("1", "true", "yes", "on")
+_FALSE_FLAGS = ("0", "false", "no", "off")
+
+
+def resolve_incremental(incremental: bool | None = None) -> bool:
+    """Resolve the incremental knob: argument > ``REPRO_INCREMENTAL_OPC`` > on.
+
+    Incremental re-simulation defaults to **on**: the hybrid cost model makes
+    it no slower than the plain loop when every window is dirty, and strictly
+    cheaper once the dirty set shrinks (equivalence pinned by
+    ``tests/opc/test_incremental.py``).
+    """
+    if incremental is not None:
+        return bool(incremental)
+    raw = os.environ.get(INCREMENTAL_ENV, "").strip().lower()
+    if not raw:
+        return True
+    if raw in _TRUE_FLAGS:
+        return True
+    if raw in _FALSE_FLAGS:
+        return False
+    raise ValueError(f"{INCREMENTAL_ENV}={raw!r} is not a boolean flag")
 
 
 @dataclass(frozen=True)
@@ -42,6 +94,89 @@ class OPCConfig:
     #: segments are mapped once and reused for the whole run.  ``None``
     #: defers to ``REPRO_STREAMING`` (then on).
     streaming: bool | None = None
+    #: Incremental re-simulation: track dirty tile windows per iteration and
+    #: re-simulate only those (:meth:`InferencePipeline.predict_patched`),
+    #: with a native whole-mask fallback when the dirty set is large.  The
+    #: result matches the plain loop (same ``final_mask``, same
+    #: ``epe_history``).  ``None`` defers to ``REPRO_INCREMENTAL_OPC``
+    #: (then on); ``False`` restores the always-full simulation loop.
+    incremental: bool | None = None
+    #: Content-hash result cache on the simulation pipeline
+    #: (:class:`repro.pipeline.MaskResultCache`): exact mask repeats —
+    #: convergence re-checks, the Figure 8 golden snapshot sims — are free.
+    #: ``True`` enables the default byte budget, an ``int`` sets the budget,
+    #: ``None`` defers to ``REPRO_RESULT_CACHE`` (then off).
+    result_cache: bool | int | None = None
+    #: Freeze a fragment once |EPE| stayed within ``freeze_tolerance`` for
+    #: this many consecutive iterations: it stops being measured and never
+    #: moves again, shrinking both the EPE walk and the dirty-tile set as the
+    #: mask converges.  Default ``None`` (off) — freezing changes the
+    #: correction dynamics slightly, so the Figure 8 numbers are produced
+    #: with the unfrozen loop.
+    freeze_after: int | None = None
+    #: |EPE| tolerance (in pixels) a fragment must hold to count as stable
+    #: for ``freeze_after``.
+    freeze_tolerance: float = 1.0
+
+
+class MaskHistory:
+    """List-like storage of binary mask snapshots, bit-packed via ``np.packbits``.
+
+    The OPC loop records one full mask per iteration; stored as ``float64``
+    images a 24-iteration 128 px run holds ~3.3 MB of redundant 0.0/1.0
+    planes.  Binary snapshots are packed to one bit per pixel (64x smaller)
+    and lazily unpacked — ``history[i]``, slices and iteration all return the
+    original ``float64`` arrays bit-for-bit.  Non-binary snapshots (never
+    produced by :func:`~repro.opc.fragments.build_mask`, but accepted for
+    robustness) are kept raw.
+    """
+
+    def __init__(self, masks=None) -> None:
+        self._entries: list[tuple] = []
+        for mask in masks or []:
+            self.append(mask)
+
+    def append(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask)
+        bits = mask != 0
+        if np.array_equal(bits.astype(mask.dtype), mask):
+            self._entries.append(("packed", np.packbits(bits, axis=None), mask.shape, mask.dtype))
+        else:
+            self._entries.append(("raw", mask.copy()))
+
+    def _unpack(self, entry: tuple) -> np.ndarray:
+        if entry[0] == "raw":
+            return entry[1].copy()
+        _, packed, shape, dtype = entry
+        count = int(np.prod(shape))
+        return np.unpackbits(packed, count=count).reshape(shape).astype(dtype)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._unpack(entry) for entry in self._entries[index]]
+        return self._unpack(self._entries[index])
+
+    def __iter__(self):
+        return (self._unpack(entry) for entry in self._entries)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MaskHistory):
+            other = list(other)
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(np.array_equal(mine, theirs) for mine, theirs in zip(self, other))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the stored (packed) snapshots."""
+        return sum(
+            entry[1].nbytes for entry in self._entries
+        )
 
 
 @dataclass
@@ -50,8 +185,13 @@ class OPCResult:
 
     final_mask: np.ndarray
     target: np.ndarray
-    mask_history: list[np.ndarray] = field(default_factory=list)
+    mask_history: MaskHistory = field(default_factory=MaskHistory)
     epe_history: list[EPEStatistics] = field(default_factory=list)
+    #: Work ledger of the incremental plan (``None`` when it was disabled).
+    counters: IncrementalCounters | None = None
+    #: Tile-simulation equivalents spent per iteration (full refresh counts
+    #: as ``n_tiles``); empty when the incremental plan was disabled.
+    dirty_history: list[int] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -85,9 +225,10 @@ class OPCEngine:
     :class:`~repro.pipeline.InferencePipeline` — the same execution path every
     other inference consumer uses (the batched single-FFT aerial path with
     cached SOCS transfer functions lives in :mod:`repro.litho.hopkins` and is
-    shared by all callers).  Routing the iterate-simulate-measure loop through
-    the pipeline keeps one uniform engine interface and opens the door to
-    batching multiple mask candidates per OPC iteration.
+    shared by all callers).  With ``config.incremental`` (default on) the loop
+    uses the pipeline's patched plan: only the tile windows a move step
+    actually changed are re-simulated (see the module docstring), with
+    counters surfaced on :class:`OPCResult`.
     """
 
     def __init__(self, simulator: LithoSimulator, config: OPCConfig | None = None) -> None:
@@ -97,6 +238,7 @@ class OPCEngine:
             simulator,
             num_workers=self.config.num_workers,
             streaming=self.config.streaming,
+            result_cache=self.config.result_cache,
         )
 
     def close(self) -> None:
@@ -114,7 +256,9 @@ class OPCEngine:
         """Run iterative OPC on a layout and return the corrected mask.
 
         The target (desired wafer contour) is the drawn layout itself,
-        rasterized at the simulator's pixel size.
+        rasterized at the simulator's pixel size.  ``final_mask`` always
+        reflects the *post-update* fragment positions — with ``iterations=0``
+        that is the uncorrected rasterized target (plus SRAFs).
         """
         config = self.config
         pixel_size = self.simulator.pixel_size
@@ -126,16 +270,37 @@ class OPCEngine:
             sraf_rects_pixels(insert_srafs(layout), pixel_size) if config.use_srafs else []
         )
 
-        result = OPCResult(final_mask=target.copy(), target=target)
+        state = None
+        index = None
+        if resolve_incremental(config.incremental):
+            state = self.pipeline.incremental_state((image_size, image_size))
+            if state.n_tiles > 1:
+                index = FragmentTileIndex(shapes, state.specs, image_size, config.max_offset)
+
+        result = OPCResult(
+            final_mask=target.copy(),
+            target=target,
+            counters=state.counters if state is not None else None,
+        )
+        candidates = None
         for _ in range(config.iterations):
             mask = build_mask(shapes, image_size, extra_rects=sraf_boxes)
-            resist = self.pipeline.predict(mask)
-            stats = measure_layout_epe(resist, shapes, pixel_size, config.epe_search_range)
+            if state is not None:
+                spent = state.counters.tile_equivalents(state.n_tiles)
+                resist = self.pipeline.predict_patched(mask, state, candidates=candidates)
+                result.dirty_history.append(
+                    state.counters.tile_equivalents(state.n_tiles) - spent
+                )
+            else:
+                resist = self.pipeline.predict(mask)
+            stats = measure_layout_epe(
+                resist, shapes, pixel_size, config.epe_search_range, skip_frozen=True
+            )
             if config.record_history:
                 result.mask_history.append(mask)
             result.epe_history.append(stats)
-            self._move_fragments(shapes, resist)
-            result.final_mask = mask
+            moved = self._apply_moves(shapes, stats)
+            candidates = index.tiles_for(moved) if index is not None else None
 
         # Build the mask with the final fragment positions (post last update).
         result.final_mask = build_mask(shapes, image_size, extra_rects=sraf_boxes)
@@ -144,14 +309,36 @@ class OPCEngine:
         return result
 
     # ------------------------------------------------------------------ #
-    def _move_fragments(self, shapes: list[FragmentedShape], resist: np.ndarray) -> None:
-        """Move every fragment against its measured EPE."""
+    def _apply_moves(
+        self, shapes: list[FragmentedShape], stats: EPEStatistics
+    ) -> list[tuple[int, int]]:
+        """Move every active fragment against its measured EPE.
+
+        Consumes ``stats.values`` in the same deterministic (shape, fragment)
+        scan order :func:`~repro.opc.epe.measure_layout_epe` produced them —
+        one EPE walk per iteration serves both the statistics and the move
+        step.  Returns the ``(shape, fragment)`` ids whose *rounded* offset
+        changed (the only moves that can repaint mask pixels), which feed the
+        fragment->tile index for dirty-window candidates.  With
+        ``freeze_after`` set, fragments whose |EPE| held within tolerance for
+        that many consecutive iterations are frozen here.
+        """
         config = self.config
-        for shape in shapes:
-            row0, col0, row1, col1 = shape.rect_pixels
-            interior = ((row0 + row1) // 2, (col0 + col1) // 2)
-            for fragment in shape.fragments:
-                epe = measure_fragment_epe(resist, fragment, interior, config.epe_search_range)
+        values = iter(stats.values.tolist())
+        moved: list[tuple[int, int]] = []
+        for si, shape in enumerate(shapes):
+            for fi, fragment in enumerate(shape.fragments):
+                if fragment.frozen:
+                    continue
+                epe = next(values)
+                if config.freeze_after is not None:
+                    if abs(epe) <= config.freeze_tolerance:
+                        fragment.stable_iters += 1
+                        if fragment.stable_iters >= config.freeze_after:
+                            fragment.frozen = True
+                            continue
+                    else:
+                        fragment.stable_iters = 0
                 if epe <= -config.epe_search_range:
                     # The feature did not print at all at this control point.
                     # Grow gently instead of jumping by the (saturated) error,
@@ -164,6 +351,10 @@ class OPCEngine:
                 if step * fragment.last_step < 0.0:
                     step *= 0.5
                 fragment.last_step = step
+                previous_pixels = int(round(fragment.offset))
                 fragment.offset = float(
                     np.clip(fragment.offset + step, -config.max_offset, config.max_offset)
                 )
+                if int(round(fragment.offset)) != previous_pixels:
+                    moved.append((si, fi))
+        return moved

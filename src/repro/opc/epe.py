@@ -19,14 +19,20 @@ __all__ = ["EPEStatistics", "measure_fragment_epe", "measure_layout_epe"]
 
 @dataclass(frozen=True)
 class EPEStatistics:
-    """Summary of EPE over all measured control points."""
+    """Summary of EPE over all measured control points.
+
+    ``frozen_fragments`` counts the fragments *skipped* by the measurement
+    because the OPC engine froze them as converged
+    (``OPCConfig.freeze_after``); ``values`` covers only the active ones.
+    """
 
     values: np.ndarray
     pixel_size: float
+    frozen_fragments: int = 0
 
     @property
     def mean_abs_nm(self) -> float:
-        return float(np.mean(np.abs(self.values))) * self.pixel_size
+        return float(np.mean(np.abs(self.values))) * self.pixel_size if self.values.size else 0.0
 
     @property
     def max_abs_nm(self) -> float:
@@ -34,7 +40,7 @@ class EPEStatistics:
 
     @property
     def rms_nm(self) -> float:
-        return float(np.sqrt(np.mean(self.values**2))) * self.pixel_size
+        return float(np.sqrt(np.mean(self.values**2))) * self.pixel_size if self.values.size else 0.0
 
     def violations(self, tolerance_nm: float) -> int:
         """Number of control points whose |EPE| exceeds ``tolerance_nm``."""
@@ -87,12 +93,28 @@ def measure_layout_epe(
     shapes: list[FragmentedShape],
     pixel_size: float,
     search_range: int = 24,
+    skip_frozen: bool = False,
 ) -> EPEStatistics:
-    """Measure EPE at every fragment control point of every shape."""
+    """Measure EPE at every fragment control point of every shape.
+
+    With ``skip_frozen=True``, fragments the OPC engine froze as converged
+    are not walked (their count is reported in ``frozen_fragments`` instead)
+    — this is what shrinks the measurement loop as OPC converges.  ``values``
+    keeps the deterministic (shape, fragment) scan order over the active
+    fragments, which the engine's move step relies on.
+    """
     values = []
+    frozen = 0
     for shape in shapes:
         row0, col0, row1, col1 = shape.rect_pixels
         interior = ((row0 + row1) // 2, (col0 + col1) // 2)
         for fragment in shape.fragments:
+            if skip_frozen and fragment.frozen:
+                frozen += 1
+                continue
             values.append(measure_fragment_epe(resist, fragment, interior, search_range))
-    return EPEStatistics(values=np.asarray(values, dtype=np.float64), pixel_size=pixel_size)
+    return EPEStatistics(
+        values=np.asarray(values, dtype=np.float64),
+        pixel_size=pixel_size,
+        frozen_fragments=frozen,
+    )

@@ -15,8 +15,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..layout.geometry import Layout, Rect
+from ..layout.tiling import TileSpec
 
-__all__ = ["EdgeFragment", "FragmentedShape", "fragment_layout", "build_mask"]
+__all__ = [
+    "EdgeFragment",
+    "FragmentedShape",
+    "FragmentTileIndex",
+    "fragment_layout",
+    "fragment_footprint",
+    "build_mask",
+]
 
 # Edge identifiers: which side of the rectangle the fragment belongs to.
 LEFT, RIGHT, BOTTOM, TOP = "left", "right", "bottom", "top"
@@ -36,6 +44,11 @@ class EdgeFragment:
     position: int
     offset: float = 0.0
     last_step: float = 0.0
+    #: Converged-and-frozen flag (``OPCConfig.freeze_after``): a frozen
+    #: fragment is skipped by EPE measurement and never moves again.
+    frozen: bool = False
+    #: Consecutive iterations with |EPE| inside the freeze tolerance.
+    stable_iters: int = 0
 
     @property
     def control_point(self) -> tuple[int, int]:
@@ -95,6 +108,64 @@ def fragment_layout(
             fragments.append(EdgeFragment(TOP, span, row1 - 1))
         shapes.append(FragmentedShape((row0, col0, row1, col1), fragments))
     return shapes
+
+
+def fragment_footprint(
+    fragment: EdgeFragment, max_offset: float
+) -> tuple[int, int, int, int]:
+    """Conservative pixel bound of everything a fragment can ever paint.
+
+    Returns ``(row0, col0, row1, col1)`` (exclusive ends, unclipped): the
+    fragment's span along its edge crossed with ``position +- reach`` across
+    it, where ``reach`` covers the largest grow/trim strip any legal offset
+    (``|offset| <= max_offset``) can produce in :func:`build_mask`.  Static
+    per fragment — offsets move the painted strip only *within* this bound,
+    which is what makes the fragment->tile index buildable once per OPC run.
+    """
+    reach = int(np.ceil(max_offset)) + 1
+    lo, hi = fragment.span
+    if fragment.side in (LEFT, RIGHT):
+        return (lo, fragment.position - reach, hi, fragment.position + reach + 1)
+    return (fragment.position - reach, lo, fragment.position + reach + 1, hi)
+
+
+class FragmentTileIndex:
+    """Static fragment -> tile-window index for dirty-tile candidates.
+
+    Maps every ``(shape_index, fragment_index)`` to the tile windows of the
+    half-overlapping grid its :func:`fragment_footprint` intersects.  After an
+    OPC move step, the union over the *moved* fragments is a sound candidate
+    set for the dirty windows: a pixel outside every moved fragment's
+    footprint is painted identically by :func:`build_mask`, so windows
+    outside the union cannot have changed.  The engine still content-hashes
+    the candidates, so an over-approximation costs hashing, never correctness.
+    """
+
+    def __init__(
+        self,
+        shapes: list[FragmentedShape],
+        specs: list[TileSpec],
+        image_size: int,
+        max_offset: float,
+    ) -> None:
+        self._tiles: dict[tuple[int, int], tuple[int, ...]] = {}
+        for si, shape in enumerate(shapes):
+            for fi, fragment in enumerate(shape.fragments):
+                row0, col0, row1, col1 = fragment_footprint(fragment, max_offset)
+                row0, col0 = max(row0, 0), max(col0, 0)
+                row1, col1 = min(row1, image_size), min(col1, image_size)
+                self._tiles[(si, fi)] = tuple(
+                    ti
+                    for ti, s in enumerate(specs)
+                    if row0 < s.y0 + s.size and row1 > s.y0 and col0 < s.x0 + s.size and col1 > s.x0
+                )
+
+    def tiles_for(self, moved: list[tuple[int, int]]) -> list[int]:
+        """Sorted union of candidate tile indices for the moved fragments."""
+        out: set[int] = set()
+        for key in moved:
+            out.update(self._tiles.get(key, ()))
+        return sorted(out)
 
 
 def build_mask(

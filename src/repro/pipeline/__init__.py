@@ -25,11 +25,31 @@ driver that builds one — evaluation, OPC, experiment harnesses, benchmarks):
     workers.  Default: on whenever the pipeline is pooled.
 ``compile``
     Run a model engine as a fused inference graph (:mod:`repro.nn.fusion`).
+``result_cache`` / ``REPRO_RESULT_CACHE``
+    Bounded content-hash LRU in front of ``run``/``predict``
+    (:mod:`repro.pipeline.cache`): exact input repeats are answered without
+    touching the executor.  Default off.
 
 Every knob composes with every other, and all combinations are bit-identical
 to the serial path (pinned by ``tests/pipeline/``).
+
+On top of these, ``incremental_state`` / ``predict_patched`` expose the
+incremental re-simulation plan: per-tile content hashes find the windows a
+mask edit touched and only those are re-simulated, their ownership regions
+spliced into a cached full-image map (:mod:`repro.pipeline.cache`).
 """
 
+from .cache import (
+    DEFAULT_CACHE_BUDGET_BYTES,
+    RESULT_CACHE_ENV,
+    IncrementalCounters,
+    IncrementalState,
+    MaskResultCache,
+    choose_patch_tile,
+    hash_array,
+    ownership_slices,
+    resolve_cache_budget,
+)
 from .engine import InferencePipeline, PipelineResult, PipelineStats
 from .executors import Executor, ModelExecutor, SimulatorExecutor, as_executor
 from .parallel import (
@@ -51,6 +71,15 @@ __all__ = [
     "InferencePipeline",
     "PipelineResult",
     "PipelineStats",
+    "DEFAULT_CACHE_BUDGET_BYTES",
+    "RESULT_CACHE_ENV",
+    "IncrementalCounters",
+    "IncrementalState",
+    "MaskResultCache",
+    "choose_patch_tile",
+    "hash_array",
+    "ownership_slices",
+    "resolve_cache_budget",
     "Executor",
     "ModelExecutor",
     "SimulatorExecutor",

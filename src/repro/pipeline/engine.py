@@ -84,7 +84,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..layout.tiling import TileSpec, extract_tiles, stitch_cores
+from ..layout.tiling import TileSpec, extract_tiles, stitch_cores, tile_grid
+from .cache import (
+    IncrementalState,
+    MaskResultCache,
+    choose_patch_tile,
+    hash_array,
+    resolve_cache_budget,
+)
 from .executors import Executor, as_executor
 from .parallel import ParallelConfig, WorkerPoolExecutor
 
@@ -96,12 +103,15 @@ class PipelineStats:
     """Observable execution plan of one pipeline run."""
 
     engine: str = ""
-    mode: str = "native"          # "native" | "stitched"
+    mode: str = "native"          # "native" | "stitched" | "patched"
     num_masks: int = 0
     num_tiles: int = 0            # GP tiles executed (stitched mode only)
     num_batches: int = 0          # executor invocations
     sharded_tiles: bool = False   # GP tile stream dispatched as one pooled call
     seconds: float = 0.0
+    cache_hits: int = 0           # masks answered from the result cache
+    cache_misses: int = 0         # masks that had to be computed (cache enabled)
+    dirty_tiles: int = 0          # tile windows re-simulated (patched mode only)
 
     @property
     def masks_per_second(self) -> float:
@@ -174,6 +184,15 @@ class InferencePipeline:
         pad-once buffer cache) and run every batch through it.  Numerically
         equivalent to the unfused path within 1e-12 (pinned by the
         equivalence suite) and composes with ``num_workers`` sharding.
+    result_cache:
+        Content-hash result cache in front of :meth:`run` / :meth:`predict`
+        (:class:`repro.pipeline.cache.MaskResultCache`): exact input repeats
+        are answered without touching the executor, bit-identical because
+        every executor path is partition invariant.  ``True`` enables the
+        default byte budget, an ``int`` sets the budget in bytes, ``None``
+        defers to the ``REPRO_RESULT_CACHE`` environment variable (then off).
+        Hits/misses are reported in :class:`PipelineStats` and on
+        ``pipeline.result_cache``.
     """
 
     def __init__(
@@ -188,6 +207,7 @@ class InferencePipeline:
         compile: bool = False,
         streaming: bool | None = None,
         shard_tiles: bool | None = None,
+        result_cache: bool | int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -212,6 +232,10 @@ class InferencePipeline:
         self.tile_size = tile_size
         self.batch_size = batch_size
         self.optical_diameter_pixels = optical_diameter_pixels
+        budget = resolve_cache_budget(result_cache)
+        self.result_cache: MaskResultCache | None = (
+            MaskResultCache(budget) if budget else None
+        )
         if tile_size is not None and self.executor.supports_stitching:
             pool = self.executor.pool_factor
             if tile_size % pool:
@@ -258,11 +282,16 @@ class InferencePipeline:
         if batch4.shape[0] == 0:
             return PipelineResult(outputs=batch4.copy(), stats=stats)
         start = time.perf_counter()
-        if self._plan_stitched(batch4, stitch):
-            stats.mode = "stitched"
-            outputs = self._run_stitched(batch4, batch_size, stats)
+        stitched = self._plan_stitched(batch4, stitch)
+        stats.mode = "stitched" if stitched else "native"
+        if self.result_cache is None:
+            outputs = (
+                self._run_stitched(batch4, batch_size, stats)
+                if stitched
+                else self._run_native(batch4, batch_size, stats)
+            )
         else:
-            outputs = self._run_native(batch4, batch_size, stats)
+            outputs = self._run_cached(batch4, batch_size, stats, stitched)
         stats.seconds = time.perf_counter() - start
         return PipelineResult(outputs=outputs, stats=stats)
 
@@ -294,6 +323,170 @@ class InferencePipeline:
         self._require_stitchable()
         self._validate_tiled_size(mask.shape)
         return self._gp_features_one(mask, batch_size or self.batch_size, PipelineStats())
+
+    # ------------------------------------------------------------------ #
+    # Incremental (patched) re-simulation plan
+    # ------------------------------------------------------------------ #
+    def incremental_state(
+        self, shape: tuple[int, int], tile_size: int | None = None
+    ) -> IncrementalState:
+        """Build the dirty-tile state for :meth:`predict_patched` over ``shape``.
+
+        Simulator engines patch at the *aerial* level: the mask is viewed
+        through a half-overlapping window grid sized so each window's core
+        margin (``tile_size // 4``) covers the optical influence radius —
+        windowed re-simulation of dirty windows is then exact (see
+        :mod:`repro.pipeline.cache`).  ``tile_size=None`` picks the smallest
+        valid window automatically (the whole image when none divides it).
+
+        Stitchable models patch at the *GP-feature* level with the pipeline's
+        own ``tile_size`` and stitching margin, bit-identical to
+        ``predict(stitch=True)``.  Engines with neither capability raise
+        :class:`ValueError`.
+        """
+        h, w = int(shape[0]), int(shape[1])
+        if hasattr(self.executor, "influence_radius"):
+            radius = max(int(self.executor.influence_radius), 1)
+            if tile_size is None:
+                tile_size = choose_patch_tile(h, radius) if h == w else max(h, w)
+            specs = tile_grid((h, w), tile_size)
+            if len(specs) > 1 and tile_size // 4 < radius:
+                raise ValueError(
+                    f"patch window {tile_size} too small for influence radius "
+                    f"{radius}; need tile_size >= {4 * radius}"
+                )
+            return IncrementalState(
+                mode="aerial",
+                shape=(h, w),
+                tile_size=tile_size,
+                specs=specs,
+                margin=tile_size // 4,
+                pool=1,
+                support=2 * radius + 1,
+            )
+        if self.executor.supports_stitching and self.tile_size is not None:
+            tile_size = tile_size or self.tile_size
+            self._validate_tiled_size((h, w))
+            pool = self.executor.pool_factor
+            margin = max(1, int(np.ceil(self.optical_diameter_pixels / (2 * pool))))
+            specs = tile_grid((h, w), tile_size)
+            if len(specs) > 1 and margin > (tile_size // pool) // 4:
+                raise ValueError(
+                    f"stitching margin {margin} exceeds the pooled core budget "
+                    f"{(tile_size // pool) // 4}; patched GP ownership would "
+                    "not match the scan-order stitch"
+                )
+            return IncrementalState(
+                mode="gp",
+                shape=(h, w),
+                tile_size=tile_size,
+                specs=specs,
+                margin=margin,
+                pool=pool,
+            )
+        raise ValueError(
+            f"engine {self.name} supports neither aerial patching nor GP core "
+            "stitching; incremental re-simulation does not apply"
+        )
+
+    def predict_patched(
+        self,
+        mask: np.ndarray,
+        state: IncrementalState,
+        candidates: list[int] | None = None,
+    ) -> np.ndarray:
+        """Prediction of one 2-D mask, re-simulating only its dirty windows.
+
+        ``state`` (from :meth:`incremental_state`) carries the per-window
+        content hashes and the cached full-image map of the previous call.
+        Windows whose content is unchanged are skipped; dirty windows run
+        through the same ``num_workers x batch_size`` super-batch path as the
+        stitched plan and their ownership regions are written back into the
+        cached map.  ``candidates`` optionally bounds which windows need
+        re-hashing (e.g. from the OPC fragment->tile index); windows outside
+        it are *trusted* to be unchanged.  A hybrid cost model falls back to
+        one native whole-image refresh whenever patching would be slower
+        (first call, or a dirty set past the FFT-cost breakeven), so the
+        patched plan never loses materially to :meth:`predict`.
+
+        Results match the non-incremental path: bit-identical by construction
+        for GP-mode models and for clean/full-refresh calls, and exact up to
+        FFT summation order (equal resist images in every pinned equivalence
+        run) for patched aerial windows.
+        """
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.ndim != 2 or mask.shape != state.shape:
+            raise ValueError(
+                f"predict_patched expects one 2-D mask of shape {state.shape}, "
+                f"got {mask.shape}"
+            )
+        stats = PipelineStats(engine=self.name, mode="patched", num_masks=1)
+        start = time.perf_counter()
+        counters = state.counters
+        dirty = state.dirty_windows(mask, candidates)
+        if state.cached_map is not None and not dirty:
+            counters.clean_calls += 1
+            counters.tiles_skipped += state.n_tiles
+        elif state.cached_map is None or state.prefer_native(len(dirty)):
+            self._refresh_full(mask, state, stats)
+            counters.full_refreshes += 1
+            state.record(mask)
+        else:
+            self._patch_windows(mask, state, dirty, stats)
+            counters.patched_calls += 1
+            counters.tiles_simulated += len(dirty)
+            counters.tiles_skipped += state.n_tiles - len(dirty)
+            stats.dirty_tiles = len(dirty)
+            state.record(mask, dirty)
+        output = self._finalize_patched(mask, state, stats)
+        stats.seconds = time.perf_counter() - start
+        state.last_stats = stats
+        if self.result_cache is not None:
+            self.result_cache.put(
+                self._cache_key(mask, stitched=state.mode == "gp"), output[None]
+            )
+        return output
+
+    def _refresh_full(self, mask: np.ndarray, state: IncrementalState, stats: PipelineStats) -> None:
+        """Rebuild the cached map from the whole mask (native / full stitch)."""
+        if state.mode == "aerial":
+            state.cached_map = self.executor.run_aerial(mask[None, None])[0, 0]
+            stats.num_batches += 1
+            return
+        tiles, _ = extract_tiles(mask, state.tile_size)
+        gp_tiles = self._run_gp_batches(tiles, self.batch_size, stats)
+        h, w = state.shape
+        state.cached_map = stitch_cores(
+            gp_tiles, state.pooled_specs(), (h // state.pool, w // state.pool), state.margin
+        )
+
+    def _patch_windows(
+        self, mask: np.ndarray, state: IncrementalState, dirty: list[int], stats: PipelineStats
+    ) -> None:
+        """Re-simulate the dirty windows and splice their ownership regions."""
+        t = state.tile_size
+        windows = np.stack(
+            [mask[s.y0 : s.y0 + t, s.x0 : s.x0 + t] for s in (state.specs[i] for i in dirty)]
+        )
+        method = "run_aerial" if state.mode == "aerial" else "run_gp"
+        outputs = self._run_gp_batches(windows, self.batch_size, stats, method=method)
+        ownership = state.ownership()
+        for k, i in enumerate(dirty):
+            local, target = ownership[i]
+            if state.mode == "aerial":
+                state.cached_map[target] = outputs[k][0][local]
+            else:
+                state.cached_map[(slice(None), *target)] = outputs[k][(slice(None), *local)]
+
+    def _finalize_patched(
+        self, mask: np.ndarray, state: IncrementalState, stats: PipelineStats
+    ) -> np.ndarray:
+        """Turn the cached map into the engine's output for this mask."""
+        if state.mode == "aerial":
+            return self.executor.finalize_patched(state.cached_map)
+        output = self.executor.run_reconstruction(state.cached_map[None], mask[None, None])
+        stats.num_batches += 1
+        return output[0, 0]
 
     # ------------------------------------------------------------------ #
     # Planning helpers
@@ -343,6 +536,39 @@ class InferencePipeline:
     # ------------------------------------------------------------------ #
     # Execution plans
     # ------------------------------------------------------------------ #
+    def _cache_key(self, mask2d: np.ndarray, stitched: bool) -> bytes:
+        """Cache key of one mask: content hash + resolved execution plan."""
+        return hash_array(mask2d) + (b"s" if stitched else b"n")
+
+    def _run_cached(
+        self, batch4: np.ndarray, batch_size: int, stats: PipelineStats, stitched: bool
+    ) -> np.ndarray:
+        """Serve exact repeats from the result cache; compute only the misses.
+
+        The miss subset runs as one smaller batch — bit-identical to running
+        the full batch because every executor path is partition invariant
+        (the same invariance the worker pool's sharding relies on, pinned by
+        the parallel equivalence suites).
+        """
+        cache = self.result_cache
+        keys = [self._cache_key(batch4[i, 0], stitched) for i in range(batch4.shape[0])]
+        found = [cache.get(key) for key in keys]
+        miss = [i for i, value in enumerate(found) if value is None]
+        stats.cache_hits = batch4.shape[0] - len(miss)
+        stats.cache_misses = len(miss)
+        if not miss:
+            return np.stack(found)
+        sub = np.ascontiguousarray(batch4[miss])
+        sub_out = (
+            self._run_stitched(sub, batch_size, stats)
+            if stitched
+            else self._run_native(sub, batch_size, stats)
+        )
+        for j, i in enumerate(miss):
+            cache.put(keys[i], sub_out[j])
+            found[i] = sub_out[j]
+        return np.stack(found)
+
     def _run_native(self, batch4: np.ndarray, batch_size: int, stats: PipelineStats) -> np.ndarray:
         outputs = []
         for start in range(0, batch4.shape[0], batch_size):
@@ -399,9 +625,16 @@ class InferencePipeline:
         return isinstance(self.executor, WorkerPoolExecutor) and self.executor.num_workers > 1
 
     def _run_gp_batches(
-        self, tiles: np.ndarray, batch_size: int, stats: PipelineStats
+        self, tiles: np.ndarray, batch_size: int, stats: PipelineStats, method: str = "run_gp"
     ) -> np.ndarray:
-        """Global-perception forwards over a tile stream ``(n, t, t)``."""
+        """Per-tile forwards over a tile stream ``(n, t, t)``.
+
+        ``method`` selects the executor hook: ``run_gp`` (stitched GP plan)
+        or ``run_aerial`` (incremental window patching) — both take
+        ``(B, 1, t, t)`` and are partition invariant, so the super-batch
+        sharding below applies unchanged.
+        """
+        run = getattr(self.executor, method)
         if self._shards_tile_stream():
             # Pooled invocations of num_workers * batch_size tiles: every
             # tile of every mask — including the tiles of a *single* large
@@ -417,13 +650,13 @@ class InferencePipeline:
             stream = batch_size * max(1, self.executor.num_workers)
             gp_outputs = []
             for start in range(0, tiles.shape[0], stream):
-                gp_outputs.append(self.executor.run_gp(tiles[start : start + stream][:, None]))
+                gp_outputs.append(run(tiles[start : start + stream][:, None]))
                 stats.num_batches += 1
             stats.num_tiles += tiles.shape[0]
             return gp_outputs[0] if len(gp_outputs) == 1 else np.concatenate(gp_outputs, axis=0)
         gp_outputs = []
         for start in range(0, tiles.shape[0], batch_size):
-            gp_outputs.append(self.executor.run_gp(tiles[start : start + batch_size][:, None]))
+            gp_outputs.append(run(tiles[start : start + batch_size][:, None]))
             stats.num_batches += 1
         stats.num_tiles += tiles.shape[0]
         return np.concatenate(gp_outputs, axis=0)            # (n, C, tile/p, tile/p)

@@ -190,6 +190,34 @@ class SimulatorExecutor(Executor):
             return aerial[:, None]
         return self.simulator.resist.develop(aerial)[:, None]
 
+    # -- hooks for the incremental (patched) re-simulation plan --------- #
+    @property
+    def influence_radius(self) -> int:
+        """Pixels a mask edit can reach in the aerial image.
+
+        The Hopkins aerial is a linear convolution with kernels of finite
+        support ``s`` (zero-padded FFTs, :mod:`repro.litho.hopkins`), so an
+        output pixel depends only on mask pixels within ``(s - 1) // 2``.
+        This bounds the core margin the patched plan needs for exact windowed
+        re-simulation.
+        """
+        return (self.simulator.kernels.support - 1) // 2
+
+    def run_aerial(self, tiles: np.ndarray) -> np.ndarray:
+        """Aerial intensity of a tile-window batch ``(B, 1, t, t)``.
+
+        Same batched single-FFT path as :meth:`run_batch`, without the resist
+        threshold — the patched plan splices these window aerials into a
+        cached full-image aerial and develops once at the end.
+        """
+        return self.simulator.aerial(tiles[:, 0], workspace=self.workspace)[:, None]
+
+    def finalize_patched(self, aerial: np.ndarray) -> np.ndarray:
+        """Turn the cached full-image aerial into this executor's output."""
+        if self.output == "aerial":
+            return aerial.copy()
+        return self.simulator.resist.develop(aerial)
+
 
 def as_executor(engine, output: str = "resist", compile: bool = False) -> Executor:
     """Adapt a model, simulator or executor to the :class:`Executor` interface.

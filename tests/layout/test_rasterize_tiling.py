@@ -17,6 +17,7 @@ from repro.layout import (
     split_image,
     stitch_cores,
 )
+from repro.layout.tiling import TileSpec, tile_grid
 
 
 def test_rasterize_single_rect_area():
@@ -110,6 +111,70 @@ def test_stitch_cores_with_channels(rng):
     assert stitched.shape == (2, 32, 32)
     np.testing.assert_allclose(stitched[0], image)
     np.testing.assert_allclose(stitched[1], 2.0 * image)
+
+
+# --------------------------------------------------------------------- #
+# Vectorized tiling == the original python loops, bit for bit
+# --------------------------------------------------------------------- #
+def _loop_extract_tiles(image, tile_size):
+    """The pre-vectorization ``extract_tiles`` loop, kept as the reference."""
+    h, w = image.shape
+    stride = tile_size // 2
+    tiles, specs = [], []
+    for row, y0 in enumerate(range(0, h - tile_size + 1, stride)):
+        for col, x0 in enumerate(range(0, w - tile_size + 1, stride)):
+            tiles.append(image[y0 : y0 + tile_size, x0 : x0 + tile_size].copy())
+            specs.append(TileSpec(row=row, col=col, y0=y0, x0=x0, size=tile_size))
+    return np.stack(tiles), specs
+
+
+def _loop_split_image(image, tile_size):
+    """The pre-vectorization ``split_image`` loop, kept as the reference."""
+    h, w = image.shape
+    tiles, specs = [], []
+    for row, y0 in enumerate(range(0, h, tile_size)):
+        for col, x0 in enumerate(range(0, w, tile_size)):
+            tiles.append(image[y0 : y0 + tile_size, x0 : x0 + tile_size].copy())
+            specs.append(TileSpec(row=row, col=col, y0=y0, x0=x0, size=tile_size))
+    return np.stack(tiles), specs
+
+
+@pytest.mark.parametrize("shape, tile", [((32, 32), 16), ((64, 32), 16), ((48, 96), 8)])
+def test_extract_tiles_matches_loop_reference(rng, shape, tile):
+    image = rng.standard_normal(shape)
+    tiles, specs = extract_tiles(image, tile)
+    ref_tiles, ref_specs = _loop_extract_tiles(image, tile)
+    assert np.array_equal(tiles, ref_tiles)
+    assert specs == ref_specs
+    assert tiles.flags["C_CONTIGUOUS"]
+
+
+@pytest.mark.parametrize("shape, tile", [((32, 32), 8), ((64, 32), 16), ((24, 48), 8)])
+def test_split_image_matches_loop_reference(rng, shape, tile):
+    image = rng.standard_normal(shape)
+    tiles, specs = split_image(image, tile)
+    ref_tiles, ref_specs = _loop_split_image(image, tile)
+    assert np.array_equal(tiles, ref_tiles)
+    assert specs == ref_specs
+    assert tiles.flags["C_CONTIGUOUS"]
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32, np.uint8])
+def test_tiling_preserves_dtype(rng, dtype):
+    image = (rng.random((32, 32)) * 100).astype(dtype)
+    assert extract_tiles(image, 16)[0].dtype == dtype
+    assert split_image(image, 8)[0].dtype == dtype
+
+
+def test_tile_grid_matches_extract_tiles_specs(rng):
+    image = rng.standard_normal((64, 32))
+    _, specs = extract_tiles(image, 16)
+    assert tile_grid((64, 32), 16) == specs
+
+
+def test_tile_grid_requires_divisible_size():
+    with pytest.raises(ValueError):
+        tile_grid((30, 32), 16)
 
 
 def test_stitch_cores_ignores_tile_boundary_garbage(rng):

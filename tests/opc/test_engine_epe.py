@@ -9,6 +9,7 @@ from repro.layout import ISPD2019_RULES, Layout, Rect, generate_via_layout, rast
 from repro.litho import LithoSimulator
 from repro.opc import (
     EPEStatistics,
+    MaskHistory,
     OPCConfig,
     OPCEngine,
     fragment_layout,
@@ -149,6 +150,80 @@ def test_opc_masks_stay_binary(simulator):
     result = OPCEngine(simulator, OPCConfig(iterations=4)).correct(layout)
     for mask in result.mask_history:
         assert set(np.unique(mask)).issubset({0.0, 1.0})
+
+
+def test_opc_final_mask_reflects_post_update_positions(simulator):
+    """Regression: ``final_mask`` is the post-update mask, not the last simulated one.
+
+    The loop used to overwrite ``result.final_mask`` with each *pre-update*
+    mask (a dead store) before the post-loop rebuild; the invariant is that
+    ``final_mask`` equals the last history entry and differs from the last
+    simulated mask whenever the final move step changed anything.
+    """
+    layout = single_via_layout()
+    result = OPCEngine(simulator, OPCConfig(iterations=6)).correct(layout)
+    np.testing.assert_array_equal(result.final_mask, result.mask_history[-1])
+    # The 56 nm via needs large corrections: the final update must move pixels.
+    assert not np.array_equal(result.final_mask, result.mask_history[-2])
+
+
+def test_opc_zero_iterations_returns_uncorrected_target(simulator):
+    layout = single_via_layout()
+    result = OPCEngine(simulator, OPCConfig(iterations=0, use_srafs=False)).correct(layout)
+    np.testing.assert_array_equal(result.final_mask, result.target)
+    assert result.iterations == 0
+    assert len(result.mask_history) == 1
+    np.testing.assert_array_equal(result.mask_history[0], result.target)
+
+
+def test_epe_statistics_empty_values_are_zero():
+    stats = EPEStatistics(values=np.array([]), pixel_size=8.0, frozen_fragments=4)
+    assert stats.mean_abs_nm == 0.0
+    assert stats.max_abs_nm == 0.0
+    assert stats.rms_nm == 0.0
+    assert stats.violations(1.0) == 0
+
+
+# --------------------------------------------------------------------- #
+# Bit-packed mask history
+# --------------------------------------------------------------------- #
+def test_mask_history_roundtrips_binary_masks(rng):
+    masks = [(rng.random((32, 32)) > 0.5).astype(np.float64) for _ in range(5)]
+    history = MaskHistory(masks)
+    assert len(history) == 5
+    for stored, original in zip(history, masks):
+        assert stored.dtype == original.dtype
+        np.testing.assert_array_equal(stored, original)
+    np.testing.assert_array_equal(history[2], masks[2])
+    np.testing.assert_array_equal(history[-1], masks[-1])
+    assert all(np.array_equal(a, b) for a, b in zip(history[1:3], masks[1:3]))
+
+
+def test_mask_history_packs_eightfold(rng):
+    masks = [(rng.random((64, 64)) > 0.5).astype(np.float64) for _ in range(4)]
+    history = MaskHistory(masks)
+    raw_bytes = sum(m.nbytes for m in masks)
+    assert history.nbytes <= raw_bytes / 8 + 4 * 64  # packbits + rounding slack
+
+
+def test_mask_history_equality():
+    a = np.eye(4)
+    b = np.zeros((4, 4))
+    history = MaskHistory([a, b])
+    assert history == [a, b]
+    assert history == MaskHistory([a, b])
+    assert not history == [a]
+    assert not history == [a, a]
+    assert MaskHistory() == []
+
+
+def test_mask_history_keeps_non_binary_masks_raw(rng):
+    graded = rng.random((16, 16))
+    history = MaskHistory([graded])
+    np.testing.assert_array_equal(history[0], graded)
+    returned = history[0]
+    returned[:] = 0.0  # returned arrays never alias storage
+    np.testing.assert_array_equal(history[0], graded)
 
 
 def test_opc_offsets_respect_bounds(simulator):
