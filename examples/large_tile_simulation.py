@@ -8,7 +8,8 @@ Table 4 row "DOINN") and with the half-overlapping large-tile scheme
 tile forwards across the whole large-tile set, and stitches the cores back.
 
 Run with:  python examples/large_tile_simulation.py [--num-workers N] [--compile]
-           [--per-call-shm] [--no-shard-tiles]
+           [--per-call-shm] [--no-shard-tiles] [--worker-timeout S]
+           [--worker-retries N] [--no-degrade]
 
 ``--num-workers`` shards the pipeline's tile batches across a worker pool
 (see :mod:`repro.pipeline.parallel`); predictions are bit-identical to the
@@ -21,6 +22,11 @@ batch-size-chunked GP loop (both for A/B timing — outputs are identical).
 (:mod:`repro.nn.fusion`: conv->BN->LeakyReLU folded into single passes with a
 pad-once buffer cache) — numerically equivalent within 1e-12, and typically
 well over 1.3x faster per tile on one core.
+``--worker-timeout`` / ``--worker-retries`` / ``--no-degrade`` tune the pool's
+supervision policy (:mod:`repro.pipeline.supervision`): per-chunk deadline,
+retry budget, and whether an exhausted chunk is recomputed in-process (with a
+warning) or raises a structured error.  See docs/configuration.md for the
+matching ``REPRO_*`` environment variables.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from repro.core import DOINN, DOINNConfig
 from repro.data import BenchmarkConfig, build_benchmark, build_large_tile_benchmark
 from repro.evaluation import evaluate_predictions
 from repro.litho import LithoSimulator
-from repro.pipeline import InferencePipeline
+from repro.pipeline import InferencePipeline, RetryPolicy
 from repro.training import Trainer, TrainingConfig
 from repro.utils import format_table, seed_everything
 
@@ -59,7 +65,31 @@ def main() -> None:
         action="store_true",
         help="disable intra-mask tile sharding on the stitched plan",
     )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="per-chunk deadline in seconds for pooled runs (default: REPRO_WORKER_TIMEOUT)",
+    )
+    parser.add_argument(
+        "--worker-retries",
+        type=int,
+        default=None,
+        help="retry budget per failed chunk (default: REPRO_WORKER_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="raise a structured WorkerPoolError instead of recomputing exhausted chunks in-process",
+    )
     args = parser.parse_args()
+    retry = None
+    if args.worker_timeout is not None or args.worker_retries is not None or args.no_degrade:
+        retry = RetryPolicy(
+            timeout=args.worker_timeout,
+            max_retries=args.worker_retries,
+            degrade=False if args.no_degrade else None,
+        )
     seed_everything(1)
     simulator = LithoSimulator(pixel_size=16.0)
     config = BenchmarkConfig(
@@ -84,6 +114,7 @@ def main() -> None:
         compile=args.compile,
         streaming=False if args.per_call_shm else None,
         shard_tiles=False if args.no_shard_tiles else None,
+        retry=retry,
     )
     if args.compile:
         executor = getattr(pipeline.executor, "inner", pipeline.executor)

@@ -3,7 +3,9 @@
 # equivalence suites (every registry model, fused vs unfused, <= 1e-12), an
 # explicit pass over the streaming + parallel worker-pool suites (persistent
 # shm ring, per-call transport, intra-mask sharding — all bit-identical to
-# serial), and a final check that no stale shared-memory segments survived.
+# serial), the supervision chaos gate (deterministic fault injection: crash
+# detection, chunk retry, worker respawn, graceful degradation), and /dev/shm
+# leak checks after the chaos gate and at the end.
 # Runs with -p no:cacheprovider so repeated CI invocations on read-only or
 # shared checkouts never write .pytest_cache state.
 #
@@ -13,14 +15,42 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# The whole run must leave /dev/shm clean: every pipeline segment is named
+# repro_<pid>_<token> and owned by the registry in repro.pipeline.streaming.
+# A segment whose owning pid is still alive belongs to a concurrent run (a
+# live persistent ring is by design); only segments of dead processes are
+# leaks, which keeps the gate race-free on shared runners.
+check_shm_clean() {
+    echo "== /dev/shm leak check ($1) =="
+    if [ -d /dev/shm ]; then
+        leftovers=""
+        for seg in /dev/shm/repro_*; do
+            [ -e "${seg}" ] || continue
+            name=$(basename "${seg}")
+            pid=$(echo "${name}" | cut -d_ -f2)
+            if ! kill -0 "${pid}" 2>/dev/null; then
+                leftovers="${leftovers}${name} "
+            fi
+        done
+        if [ -n "${leftovers}" ]; then
+            echo "stale repro shared-memory segments (owners dead): ${leftovers}" >&2
+            exit 1
+        fi
+        echo "clean"
+    else
+        echo "skipped (/dev/shm not present)"
+    fi
+}
+
 # The stages partition the tier-1 suite (no test runs twice): everything
-# except the fusion, streaming/parallel and incremental/caching files first,
-# then each suite as its own visibly-labelled gate.
+# except the fusion, streaming/parallel, incremental/caching and supervision
+# files first, then each suite as its own visibly-labelled gate.
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider tests \
     --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py \
     --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py \
-    --ignore=tests/pipeline/test_cache.py --ignore=tests/opc/test_incremental.py "$@"
+    --ignore=tests/pipeline/test_cache.py --ignore=tests/opc/test_incremental.py \
+    --ignore=tests/pipeline/test_supervision.py "$@"
 
 # -W error::FusionFallbackWarning: a fallback silently re-appearing anywhere
 # in the zoo (e.g. a transposed-conv declaration rotting back to unfused)
@@ -40,27 +70,12 @@ echo "== incremental OPC + result-cache suites (patched == full re-simulation, b
 python -m pytest -x -q -p no:cacheprovider \
     tests/pipeline/test_cache.py tests/opc/test_incremental.py "$@"
 
-# The whole run must leave /dev/shm clean: every pipeline segment is named
-# repro_<pid>_<token> and owned by the registry in repro.pipeline.streaming.
-# A segment whose owning pid is still alive belongs to a concurrent run (a
-# live persistent ring is by design); only segments of dead processes are
-# leaks, which keeps the gate race-free on shared runners.
-echo "== /dev/shm leak check =="
-if [ -d /dev/shm ]; then
-    leftovers=""
-    for seg in /dev/shm/repro_*; do
-        [ -e "${seg}" ] || continue
-        name=$(basename "${seg}")
-        pid=$(echo "${name}" | cut -d_ -f2)
-        if ! kill -0 "${pid}" 2>/dev/null; then
-            leftovers="${leftovers}${name} "
-        fi
-    done
-    if [ -n "${leftovers}" ]; then
-        echo "stale repro shared-memory segments (owners dead): ${leftovers}" >&2
-        exit 1
-    fi
-    echo "clean"
-else
-    echo "skipped (/dev/shm not present)"
-fi
+# The chaos gate kills, crashes and hangs workers on purpose (deterministic
+# REPRO_FAULT_PLAN injection); its own /dev/shm check right after proves the
+# supervision + registry teardown survives every fault mode without leaking.
+echo "== supervision chaos gate (fault injection: heal bit-identically or fail structured) =="
+python -m pytest -x -q -p no:cacheprovider \
+    tests/pipeline/test_supervision.py "$@"
+check_shm_clean "after chaos gate"
+
+check_shm_clean "final"

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..pipeline import InferencePipeline
+from ..pipeline import InferencePipeline, RetryPolicy
 
 __all__ = [
     "ThroughputResult",
@@ -136,17 +136,19 @@ def measure_model_throughput(
     batch_size: int = 1,
     num_workers: int | None = None,
     streaming: bool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ThroughputResult:
     """Measure inference throughput of a learned model on one mask tile.
 
     ``batch_size`` controls how many tiles are executed per forward: 1 is the
     seed per-tile configuration; larger values report batched throughput
     (Figure 6's deployment scenario).  ``num_workers`` shards those batches
-    across a worker pool and ``streaming`` selects the persistent
-    shared-memory ring vs the per-call transport (both ignored when an
-    already-built pipeline is passed).  A repeated-measurement loop is
-    exactly the workload the streaming ring accelerates: every ``run_once``
-    after the first reuses the mapped segments.
+    across a worker pool, ``streaming`` selects the persistent shared-memory
+    ring vs the per-call transport, and ``retry`` sets the pool's supervision
+    policy (all ignored when an already-built pipeline is passed).  A
+    repeated-measurement loop is exactly the workload the streaming ring
+    accelerates: every ``run_once`` after the first reuses the mapped
+    segments.
     """
     if isinstance(model, InferencePipeline):
         return measure_pipeline_throughput(
@@ -162,7 +164,8 @@ def measure_model_throughput(
     # pool and ring segments on the way out instead of stranding them until
     # interpreter exit.
     with InferencePipeline(
-        model, batch_size=batch_size, num_workers=num_workers, streaming=streaming
+        model, batch_size=batch_size, num_workers=num_workers, streaming=streaming,
+        retry=retry,
     ) as pipeline:
         return measure_pipeline_throughput(
             pipeline,
@@ -184,10 +187,12 @@ def measure_simulator_throughput(
     batch_size: int = 1,
     num_workers: int | None = None,
     streaming: bool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ThroughputResult:
     """Measure throughput of the golden lithography simulator on one mask tile."""
     with InferencePipeline(
-        simulator, batch_size=batch_size, num_workers=num_workers, streaming=streaming
+        simulator, batch_size=batch_size, num_workers=num_workers, streaming=streaming,
+        retry=retry,
     ) as pipeline:
         return measure_pipeline_throughput(
             pipeline,

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.registry import create_model
 from ..evaluation.runtime import measure_model_throughput
+from ..pipeline import RetryPolicy
 from ..utils.tables import format_table
 from .harness import Harness
 
@@ -81,6 +82,7 @@ def run_figure6(
     batch_size: int | None = None,
     num_workers: int | None = None,
     streaming: bool | None = None,
+    retry: "RetryPolicy | None" = None,
 ) -> list[dict]:
     """Measure throughput of every engine on one benchmark tile.
 
@@ -91,7 +93,8 @@ def run_figure6(
     "orders of magnitude" headline scales on a multi-core host; ``streaming``
     selects the persistent shared-memory ring (default) vs the per-call
     transport for that pool — the repeated measurement loop is exactly the
-    streaming workload the ring accelerates.
+    streaming workload the ring accelerates.  ``retry`` sets the pool's
+    supervision policy (deadline / retries / degradation).
     """
     harness = harness or Harness()
     data = harness.benchmark(benchmark, "L")
@@ -103,7 +106,9 @@ def run_figure6(
     results: list[dict] = []
     for name, label in (("unet", "UNet"), ("damo-dls", "DAMO"), ("doinn", "Ours")):
         model = create_model(name, image_size=image_size)
-        pipeline = harness.model_pipeline(model, num_workers=num_workers, streaming=streaming)
+        pipeline = harness.model_pipeline(
+            model, num_workers=num_workers, streaming=streaming, retry=retry
+        )
         single = measure_model_throughput(
             pipeline, mask, pixel_size, name=label, repeats=repeats, batch_size=1
         )

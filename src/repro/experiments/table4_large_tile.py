@@ -15,6 +15,7 @@ import numpy as np
 
 from ..data.benchmarks import build_large_tile_benchmark
 from ..evaluation.evaluator import evaluate_predictions
+from ..pipeline import RetryPolicy
 from ..utils.tables import format_table
 from .harness import Harness, artifacts_dir
 
@@ -29,6 +30,7 @@ def run_table4(
     streaming: bool | None = None,
     shard_tiles: bool | None = None,
     result_cache: bool | int | None = None,
+    retry: "RetryPolicy | None" = None,
 ) -> dict:
     """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles.
 
@@ -37,8 +39,10 @@ def run_table4(
     the two rows and ``shard_tiles`` (default: on when pooled) lets the
     "DOINN-LT" row shard the tiles of each large mask across all workers.
     ``result_cache`` memoises per-mask predictions by content hash (useful
-    when the same large masks are replayed). The predictions are
-    bit-identical to the serial path in every mode.
+    when the same large masks are replayed) and ``retry`` sets the pool's
+    supervision policy (chunk deadline / retries / degradation) — long
+    large-tile sweeps survive dying workers instead of losing the whole run.
+    The predictions are bit-identical to the serial path in every mode.
     """
     harness = harness or Harness()
     profile = harness.profile
@@ -64,6 +68,7 @@ def run_table4(
         streaming=streaming,
         shard_tiles=shard_tiles,
         result_cache=result_cache,
+        retry=retry,
     )
     naive_predictions = pipeline.predict_naive(large.masks)
     lt_predictions = pipeline.predict(large.masks, stitch=True)

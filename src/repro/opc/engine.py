@@ -33,7 +33,7 @@ import numpy as np
 from ..layout.geometry import Layout
 from ..layout.rasterize import rasterize
 from ..litho.simulator import LithoSimulator
-from ..pipeline import IncrementalCounters, InferencePipeline
+from ..pipeline import IncrementalCounters, InferencePipeline, RetryPolicy
 from .epe import EPEStatistics, measure_layout_epe
 from .fragments import FragmentedShape, FragmentTileIndex, build_mask, fragment_layout
 from .sraf import insert_srafs, sraf_rects_pixels
@@ -107,6 +107,13 @@ class OPCConfig:
     #: ``True`` enables the default byte budget, an ``int`` sets the budget,
     #: ``None`` defers to ``REPRO_RESULT_CACHE`` (then off).
     result_cache: bool | int | None = None
+    #: Supervision policy for the pooled simulation dispatch
+    #: (:class:`repro.pipeline.RetryPolicy`): per-chunk deadline, chunk retry
+    #: budget, and graceful in-process degradation — a long OPC run survives a
+    #: dying worker instead of losing the whole iteration history.  ``None``
+    #: defers to ``REPRO_WORKER_TIMEOUT`` / ``REPRO_WORKER_RETRIES`` /
+    #: ``REPRO_DEGRADE`` (then the policy defaults).
+    retry: "RetryPolicy | None" = None
     #: Freeze a fragment once |EPE| stayed within ``freeze_tolerance`` for
     #: this many consecutive iterations: it stops being measured and never
     #: moves again, shrinking both the EPE walk and the dirty-tile set as the
@@ -239,6 +246,7 @@ class OPCEngine:
             num_workers=self.config.num_workers,
             streaming=self.config.streaming,
             result_cache=self.config.result_cache,
+            retry=self.config.retry,
         )
 
     def close(self) -> None:

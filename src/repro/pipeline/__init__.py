@@ -29,9 +29,18 @@ driver that builds one — evaluation, OPC, experiment harnesses, benchmarks):
     Bounded content-hash LRU in front of ``run``/``predict``
     (:mod:`repro.pipeline.cache`): exact input repeats are answered without
     touching the executor.  Default off.
+``retry`` / ``REPRO_WORKER_TIMEOUT`` + ``REPRO_WORKER_RETRIES`` + ``REPRO_DEGRADE``
+    Supervision policy for the pooled dispatch
+    (:mod:`repro.pipeline.supervision`): per-chunk deadline, retry budget for
+    failed chunks, and graceful in-process degradation (default on) when the
+    pool is irrecoverable.  Worker crashes, hangs and remote exceptions are
+    classified, retried bit-identically, and surfaced as counters on
+    :class:`PipelineStats`; ``REPRO_FAULT_PLAN``
+    (:mod:`repro.pipeline.faults`) injects deterministic chaos for testing.
 
 Every knob composes with every other, and all combinations are bit-identical
-to the serial path (pinned by ``tests/pipeline/``).
+to the serial path (pinned by ``tests/pipeline/``).  The full environment
+catalogue (defaults, precedence) lives in ``docs/configuration.md``.
 
 On top of these, ``incremental_state`` / ``predict_patched`` expose the
 incremental re-simulation plan: per-tile content hashes find the windows a
@@ -52,6 +61,13 @@ from .cache import (
 )
 from .engine import InferencePipeline, PipelineResult, PipelineStats
 from .executors import Executor, ModelExecutor, SimulatorExecutor, as_executor
+from .faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    resolve_fault_plan,
+)
 from .parallel import (
     NUM_WORKERS_ENV,
     ParallelConfig,
@@ -65,6 +81,17 @@ from .streaming import (
     SegmentRing,
     live_segment_names,
     resolve_streaming,
+)
+from .supervision import (
+    DEGRADE_ENV,
+    WORKER_RETRIES_ENV,
+    WORKER_TIMEOUT_ENV,
+    ChunkFailure,
+    PoolDegradedWarning,
+    RetryPolicy,
+    RobustnessCounters,
+    SupervisedPool,
+    resolve_retry_policy,
 )
 
 __all__ = [
@@ -84,6 +111,11 @@ __all__ = [
     "ModelExecutor",
     "SimulatorExecutor",
     "as_executor",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "resolve_fault_plan",
     "NUM_WORKERS_ENV",
     "ParallelConfig",
     "WorkerPoolError",
@@ -94,4 +126,13 @@ __all__ = [
     "SegmentRing",
     "live_segment_names",
     "resolve_streaming",
+    "DEGRADE_ENV",
+    "WORKER_RETRIES_ENV",
+    "WORKER_TIMEOUT_ENV",
+    "ChunkFailure",
+    "PoolDegradedWarning",
+    "RetryPolicy",
+    "RobustnessCounters",
+    "SupervisedPool",
+    "resolve_retry_policy",
 ]

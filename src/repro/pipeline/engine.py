@@ -93,7 +93,7 @@ from .cache import (
     resolve_cache_budget,
 )
 from .executors import Executor, as_executor
-from .parallel import ParallelConfig, WorkerPoolExecutor
+from .parallel import ParallelConfig, RetryPolicy, WorkerPoolExecutor
 
 __all__ = ["InferencePipeline", "PipelineResult", "PipelineStats"]
 
@@ -112,6 +112,10 @@ class PipelineStats:
     cache_hits: int = 0           # masks answered from the result cache
     cache_misses: int = 0         # masks that had to be computed (cache enabled)
     dirty_tiles: int = 0          # tile windows re-simulated (patched mode only)
+    chunks_retried: int = 0       # pooled chunks that needed another attempt
+    workers_respawned: int = 0    # dead worker processes replaced mid-run
+    degraded_runs: int = 0        # pooled dispatches degraded to in-process
+    fault_events: int = 0         # injected faults fired (chaos testing only)
 
     @property
     def masks_per_second(self) -> float:
@@ -193,6 +197,16 @@ class InferencePipeline:
         defers to the ``REPRO_RESULT_CACHE`` environment variable (then off).
         Hits/misses are reported in :class:`PipelineStats` and on
         ``pipeline.result_cache``.
+    retry:
+        Supervision policy for the pooled dispatch
+        (:class:`~repro.pipeline.supervision.RetryPolicy`): per-chunk
+        deadline, retry budget for failed chunks, and graceful in-process
+        degradation when the pool is irrecoverable.  ``None`` defers to the
+        ``REPRO_WORKER_TIMEOUT`` / ``REPRO_WORKER_RETRIES`` / ``REPRO_DEGRADE``
+        environment variables (then the policy defaults: no deadline, 2
+        retries, degradation on).  Retried and degraded chunks are
+        bit-identical by construction; per-run counters land on
+        :class:`PipelineStats`.  Ignored for serial pipelines.
     """
 
     def __init__(
@@ -208,6 +222,7 @@ class InferencePipeline:
         streaming: bool | None = None,
         shard_tiles: bool | None = None,
         result_cache: bool | int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -215,8 +230,10 @@ class InferencePipeline:
             num_workers = parallel.num_workers if num_workers is None else num_workers
             chunk_size = parallel.chunk_size if chunk_size is None else chunk_size
             streaming = parallel.streaming if streaming is None else streaming
+            retry = parallel.retry if retry is None else retry
         parallel = ParallelConfig(
-            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming
+            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming,
+            retry=retry,
         )
         self.executor: Executor = as_executor(engine, compile=compile)
         self.compiled = getattr(self.executor, "compiled", False)
@@ -281,6 +298,7 @@ class InferencePipeline:
         stats = PipelineStats(engine=self.name, num_masks=batch4.shape[0])
         if batch4.shape[0] == 0:
             return PipelineResult(outputs=batch4.copy(), stats=stats)
+        robustness = self._robustness_snapshot()
         start = time.perf_counter()
         stitched = self._plan_stitched(batch4, stitch)
         stats.mode = "stitched" if stitched else "native"
@@ -293,6 +311,7 @@ class InferencePipeline:
         else:
             outputs = self._run_cached(batch4, batch_size, stats, stitched)
         stats.seconds = time.perf_counter() - start
+        self._record_robustness(stats, robustness)
         return PipelineResult(outputs=outputs, stats=stats)
 
     def predict(
@@ -421,6 +440,7 @@ class InferencePipeline:
                 f"got {mask.shape}"
             )
         stats = PipelineStats(engine=self.name, mode="patched", num_masks=1)
+        robustness = self._robustness_snapshot()
         start = time.perf_counter()
         counters = state.counters
         dirty = state.dirty_windows(mask, candidates)
@@ -440,6 +460,7 @@ class InferencePipeline:
             state.record(mask, dirty)
         output = self._finalize_patched(mask, state, stats)
         stats.seconds = time.perf_counter() - start
+        self._record_robustness(stats, robustness)
         state.last_stats = stats
         if self.result_cache is not None:
             self.result_cache.put(
@@ -491,6 +512,23 @@ class InferencePipeline:
     # ------------------------------------------------------------------ #
     # Planning helpers
     # ------------------------------------------------------------------ #
+    def _robustness_snapshot(self):
+        """Cumulative supervision counters before a run (pooled executors only)."""
+        counters = getattr(self.executor, "robustness", None)
+        return None if counters is None else (counters, counters.snapshot())
+
+    @staticmethod
+    def _record_robustness(stats: PipelineStats, snapshot) -> None:
+        """Write this run's share of the supervision counters onto ``stats``."""
+        if snapshot is None:
+            return
+        counters, before = snapshot
+        delta = counters.delta(before)
+        stats.chunks_retried = delta.chunks_retried
+        stats.workers_respawned = delta.workers_respawned
+        stats.degraded_runs = delta.degraded_runs
+        stats.fault_events = delta.fault_events
+
     @staticmethod
     def _normalize(masks: np.ndarray):
         """Coerce input to ``(N, 1, H, W)`` plus a layout-restoring closure."""

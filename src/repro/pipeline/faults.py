@@ -1,0 +1,188 @@
+"""Deterministic fault-injection harness for the supervised worker pool.
+
+Chaos behaviour — worker crashes, hard kills, hangs — is impossible to test
+reliably with timing tricks (sleep-and-hope races are the canonical flaky CI
+test).  This module makes it deterministic *by construction*: a
+:class:`FaultPlan` names exactly which chunk of which dispatch call fails, in
+which way, on which attempt.  The plan is shipped to every worker process at
+pool initialization and consulted by the worker-side chunk runner
+(:func:`repro.pipeline.parallel._run_chunk`) before the chunk executes, so a
+fault fires at the same place on every run — no clocks, no races.
+
+Plan syntax (also accepted via the ``REPRO_FAULT_PLAN`` environment
+variable; see ``docs/configuration.md`` for the full knob catalogue)::
+
+    mode@call:chunk[xATTEMPTS][~SECONDS]
+
+separated by ``,`` or ``;``.  ``mode`` is one of:
+
+* ``raise`` — raise :class:`InjectedFault` inside the chunk (a *remote
+  exception*: the worker survives and returns the traceback);
+* ``exit``  — ``os._exit(13)`` (a *hard crash*: the worker dies without a
+  word, like an OOM kill or an abort in native code);
+* ``kill``  — ``SIGKILL`` to the worker's own pid (same classification as
+  ``exit``, but through the signal path a real OOM killer uses);
+* ``hang``  — sleep past the supervision deadline (``~SECONDS`` bounds the
+  sleep, default ``20``, hard cap ``60`` so a mis-configured plan can stall
+  but never deadlock a run).
+
+``call`` is the 0-based dispatch-call index of the executor (every pooled
+invocation increments it), ``chunk`` the 0-based chunk index within that
+call; either may be ``*`` (any).  ``xATTEMPTS`` fires the fault on the first
+``ATTEMPTS`` attempts of that chunk (default 1, i.e. only the first attempt —
+the retry then succeeds; ``x9`` outlasts any sane retry budget, forcing
+degradation).  Examples::
+
+    kill@0:1          # SIGKILL the worker running chunk 1 of the first call
+    raise@*:0         # every call: chunk 0 fails once, then retries clean
+    hang@2:3~30       # chunk 3 of call 2 sleeps 30 s (deadline must be set)
+    raise@0:0x9       # chunk 0 of call 0 fails every attempt -> degrade path
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "resolve_fault_plan",
+]
+
+#: Environment variable consulted when no explicit plan is given, so chaos
+#: runs can be driven fleet-wide (CI gates) without touching call sites.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Default / maximum sleep of a ``hang`` fault.  The cap guarantees a plan
+#: can stall a run (long enough for any reasonable deadline to trip) but can
+#: never deadlock it outright.
+DEFAULT_HANG_SECONDS = 20.0
+MAX_HANG_SECONDS = 60.0
+
+_MODES = ("raise", "exit", "kill", "hang")
+_SPEC_RE = re.compile(
+    r"^(?P<mode>raise|exit|kill|hang)"
+    r"@(?P<call>\*|\d+):(?P<chunk>\*|\d+)"
+    r"(?:x(?P<attempts>\d+))?"
+    r"(?:~(?P<seconds>\d+(?:\.\d+)?))?$"
+)
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise``-mode fault throws inside the worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: *mode* at (*call*, *chunk*), first *attempts* tries."""
+
+    mode: str
+    call: int | None            # None = any dispatch call
+    chunk: int | None           # None = any chunk of the call
+    attempts: int = 1           # fire while attempt < attempts
+    seconds: float = DEFAULT_HANG_SECONDS  # hang duration (hang mode only)
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"fault mode must be one of {_MODES}, got {self.mode!r}")
+        if self.attempts < 1:
+            raise ValueError(f"fault attempts must be >= 1, got {self.attempts}")
+        if self.seconds <= 0:
+            raise ValueError(f"hang seconds must be > 0, got {self.seconds}")
+
+    def matches(self, call: int, chunk: int, attempt: int) -> bool:
+        return (
+            (self.call is None or self.call == call)
+            and (self.chunk is None or self.chunk == chunk)
+            and attempt < self.attempts
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of :class:`FaultSpec` entries.
+
+    The plan is a plain frozen dataclass so it pickles into worker
+    processes; the parent keeps the same instance to *predict* how many
+    fault events a dispatch schedule fired (:meth:`events_for`), which is
+    what feeds the ``fault_events`` robustness counter deterministically.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``mode@call:chunk[xN][~S]`` list syntax (see module doc)."""
+        specs = []
+        for raw in re.split(r"[,;]", text):
+            entry = raw.strip()
+            if not entry:
+                continue
+            match = _SPEC_RE.match(entry)
+            if match is None:
+                raise ValueError(
+                    f"invalid fault spec {entry!r}; expected "
+                    "mode@call:chunk[xATTEMPTS][~SECONDS] with mode in "
+                    f"{_MODES} and '*' wildcards for call/chunk"
+                )
+            call = None if match["call"] == "*" else int(match["call"])
+            chunk = None if match["chunk"] == "*" else int(match["chunk"])
+            attempts = int(match["attempts"]) if match["attempts"] else 1
+            seconds = float(match["seconds"]) if match["seconds"] else DEFAULT_HANG_SECONDS
+            specs.append(
+                FaultSpec(mode=match["mode"], call=call, chunk=chunk,
+                          attempts=attempts, seconds=seconds)
+            )
+        if not specs:
+            raise ValueError(f"fault plan {text!r} contains no fault specs")
+        return cls(specs=tuple(specs))
+
+    def find(self, call: int, chunk: int, attempt: int) -> FaultSpec | None:
+        """First spec scheduled for this (call, chunk, attempt), if any."""
+        for spec in self.specs:
+            if spec.matches(call, chunk, attempt):
+                return spec
+        return None
+
+    def inject(self, call: int, chunk: int, attempt: int) -> None:
+        """Fire the scheduled fault for this attempt, if any (worker side)."""
+        spec = self.find(call, chunk, attempt)
+        if spec is None:
+            return
+        if spec.mode == "raise":
+            raise InjectedFault(
+                f"injected fault: call {call} chunk {chunk} attempt {attempt}"
+            )
+        if spec.mode == "exit":
+            os._exit(13)
+        if spec.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(min(spec.seconds, MAX_HANG_SECONDS))
+
+    def events_for(self, call: int, chunk: int, attempts: int) -> int:
+        """How many faults fired for a chunk that ran ``attempts`` attempts.
+
+        Deterministic parent-side bookkeeping: the worker that hit an
+        ``exit``/``kill`` fault cannot report it, so the parent counts the
+        events from the same plan and the attempt ledger of the dispatch.
+        """
+        return sum(1 for attempt in range(attempts) if self.find(call, chunk, attempt))
+
+
+def resolve_fault_plan(plan: "FaultPlan | str | None" = None) -> FaultPlan | None:
+    """Resolve a fault plan: explicit argument > ``REPRO_FAULT_PLAN`` > none.
+
+    Accepts a prebuilt :class:`FaultPlan` or the string syntax; ``None``
+    consults the environment variable and returns ``None`` (no injection —
+    the production default) when it is unset or empty.
+    """
+    if plan is not None:
+        return plan if isinstance(plan, FaultPlan) else FaultPlan.parse(plan)
+    raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    return FaultPlan.parse(raw) if raw else None

@@ -30,18 +30,40 @@ scale past one core:
 * **Ordered reassembly** — every chunk writes its half-open ``[start, stop)``
   slice of the shared output, so results come back in input order by
   construction, bit-identical to the serial path.
-* **Error propagation** — a worker failure is captured as the full remote
-  traceback and re-raised in the parent as :class:`WorkerPoolError`.
+* **Supervised dispatch** — chunks are fanned out through a
+  :class:`~repro.pipeline.supervision.SupervisedPool` that monitors worker
+  liveness (pipe + process sentinel, optional per-chunk deadline from
+  :class:`~repro.pipeline.supervision.RetryPolicy`), classifies failures
+  (remote exception / hard crash / hang), retries failed chunks with bounded
+  backoff, respawns dead workers, and — when the pool is irrecoverable or
+  retries are exhausted — recomputes the remaining chunks in-process through
+  the wrapped executor, emitting a
+  :class:`~repro.pipeline.supervision.PoolDegradedWarning` instead of failing
+  the stream.  Because every chunk owns its output slice, a retried or
+  degraded chunk is bit-identical by construction.  Cumulative counters live
+  on :attr:`WorkerPoolExecutor.robustness` and surface per-run on
+  ``PipelineStats``.
+* **Error propagation** — when degradation is off, exhausted chunks raise a
+  structured :class:`WorkerPoolError` carrying the method, every failed
+  chunk's bounds and attempt counts, and *all* remote tracebacks.
+* **Deterministic chaos testing** — a
+  :class:`~repro.pipeline.faults.FaultPlan` (``fault_plan=`` /
+  ``REPRO_FAULT_PLAN``) injects raise / ``os._exit`` / SIGKILL / hang faults
+  at exact (call, chunk, attempt) coordinates inside :func:`_run_chunk`.
 * **Clean shutdown** — the pool is created lazily on first parallel run and
   torn down by :meth:`WorkerPoolExecutor.close` (also a context manager, also
   best-effort on garbage collection), which releases the streaming ring too.
+  Teardown is guarded step by step so interpreter-shutdown races (worker
+  handles already reaped) never mask the original error.
 
 ``num_workers <= 1`` (and single-item batches) degrade to the wrapped
 executor's in-process path, so a pipeline with the knob left at zero behaves
 exactly as before.  The worker count resolves from, in order: an explicit
 ``num_workers`` argument, the ``REPRO_NUM_WORKERS`` environment variable, or
 0 (serial).  The streaming knob resolves the same way from ``streaming`` /
-``REPRO_STREAMING`` / on.
+``REPRO_STREAMING`` / on, and the supervision knobs from ``retry`` /
+``REPRO_WORKER_TIMEOUT`` + ``REPRO_WORKER_RETRIES`` + ``REPRO_DEGRADE`` /
+their defaults (see ``docs/configuration.md`` for the full catalogue).
 """
 
 from __future__ import annotations
@@ -51,20 +73,33 @@ import multiprocessing as mp
 import os
 import sys
 import traceback
+import warnings
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from .executors import Executor, as_executor
+from .faults import FaultPlan, resolve_fault_plan
 from .streaming import SegmentRing, create_segment, release_segment, resolve_streaming
+from .supervision import (
+    PoolDegradedWarning,
+    RetryPolicy,
+    RobustnessCounters,
+    SupervisedPool,
+    resolve_retry_policy,
+)
 
 __all__ = [
     "NUM_WORKERS_ENV",
     "ParallelConfig",
+    "PoolDegradedWarning",
+    "RetryPolicy",
+    "RobustnessCounters",
     "WorkerPoolError",
     "WorkerPoolExecutor",
     "resolve_num_workers",
+    "resolve_retry_policy",
 ]
 
 #: Environment variable consulted when no explicit worker count is given, so
@@ -100,11 +135,16 @@ class ParallelConfig:
     ``streaming``: reuse shared-memory segments across pipeline calls via the
     persistent ring; ``None`` defers to ``REPRO_STREAMING`` (then on), and
     ``False`` restores the per-call segment transport.
+    ``retry``: supervision knobs (per-chunk deadline, retry budget, graceful
+    degradation) as a :class:`~repro.pipeline.supervision.RetryPolicy`;
+    ``None`` defers to ``REPRO_WORKER_TIMEOUT`` / ``REPRO_WORKER_RETRIES`` /
+    ``REPRO_DEGRADE`` (then the policy defaults).
     """
 
     num_workers: int | None = None
     chunk_size: int | None = None
     streaming: bool | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -116,9 +156,40 @@ class ParallelConfig:
     def resolved_streaming(self) -> bool:
         return resolve_streaming(self.streaming)
 
+    def resolved_retry(self) -> RetryPolicy:
+        return resolve_retry_policy(self.retry)
+
 
 class WorkerPoolError(RuntimeError):
-    """A worker process failed; the message carries the remote traceback."""
+    """Worker chunks failed terminally and degradation was off (or impossible).
+
+    Structured: ``method`` names the executor method, ``failures`` holds one
+    :class:`~repro.pipeline.supervision.ChunkFailure` per exhausted chunk —
+    output-slice bounds, attempt count, failure kind, and the full history of
+    every attempt's remote traceback / death detail.  The message renders all
+    of it, so multi-chunk failures no longer drop diagnostics.
+    """
+
+    def __init__(self, message: str, *, executor: str = "", method: str = "",
+                 failures: tuple = ()):
+        super().__init__(message)
+        self.executor = executor
+        self.method = method
+        self.failures = tuple(failures)
+
+    @classmethod
+    def from_failures(cls, executor: str, method: str, failures) -> "WorkerPoolError":
+        failures = tuple(failures)
+        lines = [f"{len(failures)} worker chunk(s) of {executor}.{method} failed"]
+        for failure in failures:
+            lines.append(
+                f"chunk {failure.chunk} [{failure.start}:{failure.stop}) "
+                f"{failure.kind} after {failure.attempts} attempt(s):"
+            )
+            for attempt, (kind, detail) in enumerate(failure.history):
+                lines.append(f"  attempt {attempt} ({kind}):")
+                lines.extend("    " + line for line in detail.rstrip().splitlines())
+        return cls("\n".join(lines), executor=executor, method=method, failures=failures)
 
 
 # ---------------------------------------------------------------------- #
@@ -132,10 +203,14 @@ _WORKER_EXECUTOR: Executor | None = None
 #: was regrown, so steady-state streaming tasks touch no ``shm_open`` at all.
 _WORKER_SEGMENTS: dict[str, tuple[str, int, shared_memory.SharedMemory]] = {}
 
+#: Worker-side fault plan (chaos testing only; ``None`` in production).
+_WORKER_FAULTS: FaultPlan | None = None
 
-def _init_worker(executor: Executor) -> None:
-    global _WORKER_EXECUTOR
+
+def _init_worker(executor: Executor, fault_plan: FaultPlan | None = None) -> None:
+    global _WORKER_EXECUTOR, _WORKER_FAULTS
     _WORKER_EXECUTOR = executor
+    _WORKER_FAULTS = fault_plan
     _WORKER_SEGMENTS.clear()
 
 
@@ -160,7 +235,7 @@ def _map_segment(spec, transient: list) -> shared_memory.SharedMemory:
 
 
 def _execute_chunk(task) -> None:
-    method, inputs, output, start, stop = task
+    method, inputs, output, start, stop = task[:5]
     transient: list = []
     try:
         views = []
@@ -181,9 +256,17 @@ def _execute_chunk(task) -> None:
                 pass  # failure path: views still alive; freed with the frame
 
 
-def _run_chunk(task) -> str | None:
-    """Pool entry point: returns ``None`` on success, a traceback on failure."""
+def _run_chunk(task, attempt: int = 0) -> str | None:
+    """Pool entry point: returns ``None`` on success, a traceback on failure.
+
+    Tasks carry ``(call, chunk)`` coordinates as their sixth element; a
+    configured fault plan fires here, before the chunk executes, so injected
+    chaos is deterministic per (call, chunk, attempt).
+    """
     try:
+        if _WORKER_FAULTS is not None:
+            call, chunk = task[5]
+            _WORKER_FAULTS.inject(call, chunk, attempt)
         _execute_chunk(task)
         return None
     except BaseException:
@@ -213,13 +296,18 @@ class WorkerPoolExecutor(Executor):
         chunk_size: int | None = None,
         config: ParallelConfig | None = None,
         streaming: bool | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: "FaultPlan | str | None" = None,
+        supervised: bool = True,
     ) -> None:
         if config is not None:
             num_workers = config.num_workers if num_workers is None else num_workers
             chunk_size = config.chunk_size if chunk_size is None else chunk_size
             streaming = config.streaming if streaming is None else streaming
+            retry = config.retry if retry is None else retry
         config = ParallelConfig(
-            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming
+            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming,
+            retry=retry,
         )
         inner = as_executor(engine)
         if isinstance(inner, WorkerPoolExecutor):
@@ -228,12 +316,20 @@ class WorkerPoolExecutor(Executor):
         self.num_workers = config.resolved_workers()
         self.chunk_size = config.chunk_size
         self.streaming = config.resolved_streaming()
+        self.retry = config.resolved_retry()
+        self.fault_plan = resolve_fault_plan(fault_plan)
+        # supervised=False keeps the blind pool.map dispatch of the pre-
+        # supervision pipeline alive as the bench baseline (no monitoring, no
+        # retry, no degradation) — production callers never turn this off.
+        self.supervised = bool(supervised)
+        self.robustness = RobustnessCounters()
         self.name = (
             f"{inner.name}[workers={self.num_workers}]" if self.num_workers > 1 else inner.name
         )
         self._pool = None
         self._ring: SegmentRing | None = None
         self._output_specs: dict = {}
+        self._call_index = 0
 
     # -- capability proxies -------------------------------------------- #
     @property
@@ -289,10 +385,18 @@ class WorkerPoolExecutor(Executor):
         Both respawn transparently on the next parallel run, so ``close`` can
         be called between streams to return the shared memory to the OS.
         """
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.close()
+                if not isinstance(pool, SupervisedPool):
+                    # mp.Pool (blind baseline) needs the explicit join; during
+                    # interpreter shutdown its worker handler may already be
+                    # reaped, and a secondary error here would mask the real
+                    # one — swallow it.
+                    pool.join()
+            except Exception:
+                pass
         if self._ring is not None:
             self._ring.close()
             self._ring = None
@@ -349,15 +453,67 @@ class WorkerPoolExecutor(Executor):
             return self._run_ring(method, arrays, out_shape, out_dtype, out_nbytes, first, bounds)
         return self._run_per_call(method, arrays, out_shape, out_dtype, out_nbytes, first, bounds)
 
-    def _dispatch(self, method: str, inputs: list, output: tuple, bounds: list) -> None:
-        """Fan the chunk tasks out to the pool; raise on any worker failure."""
-        tasks = [(method, inputs, output, start, stop) for start, stop in bounds]
-        failures = [tb for tb in self._ensure_pool().map(_run_chunk, tasks) if tb]
-        if failures:
-            raise WorkerPoolError(
-                f"{len(failures)} worker chunk(s) of {self.name}.{method} failed; "
-                "first remote traceback:\n" + failures[0]
+    def _dispatch(
+        self, method: str, inputs: list, output: tuple, bounds: list, fallback,
+    ) -> None:
+        """Fan the chunk tasks out under supervision; heal or raise structured.
+
+        ``fallback(start, stop)`` recomputes one chunk in-process through the
+        wrapped executor (the transports build it over their live output
+        view), which is what graceful degradation runs when the pool gives a
+        chunk up.
+        """
+        call = self._call_index
+        self._call_index += 1
+        tasks = [
+            (method, inputs, output, start, stop, (call, index))
+            for index, (start, stop) in enumerate(bounds)
+        ]
+        if not self.supervised:
+            failures = [tb for tb in self._ensure_pool().map(_run_chunk, tasks) if tb]
+            if failures:
+                raise WorkerPoolError(
+                    f"{len(failures)} worker chunk(s) of {self.name}.{method} failed; "
+                    "first remote traceback:\n" + failures[0],
+                    executor=self.name,
+                    method=method,
+                )
+            return
+        report = self._ensure_pool().run(
+            tasks, self.retry, fallback=lambda task: fallback(task[3], task[4])
+        )
+        pool = self._pool
+        if pool is not None and pool.broken:
+            # Irrecoverable: tear it down now so the next call rebuilds a
+            # fresh pool instead of re-degrading forever.
+            pool.close()
+            self._pool = None
+        counters = self.robustness
+        counters.chunks_retried += report.retried
+        counters.workers_respawned += report.respawned
+        if self.fault_plan is not None:
+            counters.fault_events += sum(
+                self.fault_plan.events_for(call, index, attempts)
+                for index, attempts in enumerate(report.attempts)
             )
+        for failure in report.degraded + report.failed:
+            failure.start, failure.stop = bounds[failure.chunk]
+        if report.degraded:
+            counters.degraded_runs += 1
+            chunks = tuple(bounds[failure.chunk] for failure in report.degraded)
+            warnings.warn(
+                PoolDegradedWarning(
+                    f"{len(report.degraded)} worker chunk(s) of "
+                    f"{self.name}.{method} exhausted the pool (retries/respawns "
+                    "spent); recomputed in-process through the wrapped executor",
+                    method=method,
+                    chunks=chunks,
+                    failures=report.degraded,
+                ),
+                stacklevel=4,
+            )
+        if report.failed:
+            raise WorkerPoolError.from_failures(self.name, method, report.failed)
 
     def _run_ring(
         self, method: str, arrays: tuple, out_shape: tuple, out_dtype, out_nbytes: int,
@@ -380,8 +536,13 @@ class WorkerPoolExecutor(Executor):
         if first is not None:
             out_view[:1] = first
         output = (out_slot.role, out_slot.shm.name, out_slot.generation, out_shape, out_dtype.str, True)
+        inner_fn = getattr(self.inner, method)
+
+        def fallback(start: int, stop: int) -> None:
+            out_view[start:stop] = inner_fn(*(a[start:stop] for a in arrays))
+
         try:
-            self._dispatch(method, inputs, output, bounds)
+            self._dispatch(method, inputs, output, bounds, fallback)
             return out_view.copy()
         finally:
             # Release the parent's array view so a later regrow/close can
@@ -412,7 +573,12 @@ class WorkerPoolExecutor(Executor):
             if first is not None:
                 out_view[:1] = first
             output = ("out", out_shm.name, 0, out_shape, out_dtype.str, False)
-            self._dispatch(method, inputs, output, bounds)
+            inner_fn = getattr(self.inner, method)
+
+            def fallback(start: int, stop: int) -> None:
+                out_view[start:stop] = inner_fn(*(a[start:stop] for a in arrays))
+
+            self._dispatch(method, inputs, output, bounds, fallback)
             result = out_view.copy()
             del out_view
             return result
@@ -434,9 +600,18 @@ class WorkerPoolExecutor(Executor):
             methods = mp.get_all_start_methods()
             use_fork = sys.platform.startswith("linux") and "fork" in methods
             ctx = mp.get_context("fork" if use_fork else "spawn")
-            self._pool = ctx.Pool(
-                processes=self.num_workers,
-                initializer=_init_worker,
-                initargs=(self.inner,),
-            )
+            if self.supervised:
+                self._pool = SupervisedPool(
+                    self.num_workers,
+                    _run_chunk,
+                    initializer=_init_worker,
+                    initargs=(self.inner, self.fault_plan),
+                    context=ctx,
+                )
+            else:
+                self._pool = ctx.Pool(
+                    processes=self.num_workers,
+                    initializer=_init_worker,
+                    initargs=(self.inner, self.fault_plan),
+                )
         return self._pool

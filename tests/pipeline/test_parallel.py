@@ -25,11 +25,17 @@ from repro.pipeline import (
     InferencePipeline,
     ModelExecutor,
     ParallelConfig,
+    RetryPolicy,
     SimulatorExecutor,
     WorkerPoolError,
     WorkerPoolExecutor,
     resolve_num_workers,
 )
+
+#: Pre-supervision failure semantics: no retries, no degradation — a worker
+#: failure surfaces immediately as WorkerPoolError.  The graceful-degradation
+#: default is covered by tests/pipeline/test_supervision.py.
+STRICT = RetryPolicy(max_retries=0, degrade=False)
 from repro.pipeline.executors import Executor
 
 
@@ -235,13 +241,20 @@ class _AlwaysFails(Executor):
 
 
 def test_worker_exception_propagates_with_remote_traceback():
-    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2) as executor:
+    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2, retry=STRICT) as executor:
         with pytest.raises(WorkerPoolError) as excinfo:
             executor.run_batch(np.zeros((5, 1, 8, 8)))
     message = str(excinfo.value)
     assert "marker-1234" in message          # the original error
     assert "Traceback" in message            # ... with the remote traceback
     assert "run_batch" in message            # ... pointing into the executor
+    # The error is structured: method, chunk bounds, attempt counts.
+    assert excinfo.value.method == "run_batch"
+    assert excinfo.value.failures
+    for failure in excinfo.value.failures:
+        assert 0 <= failure.start < failure.stop
+        assert failure.attempts == 1
+        assert failure.kind == "exception"
 
 
 def test_probe_failure_raises_in_parent():
@@ -257,7 +270,7 @@ def test_pool_recovers_after_worker_failure(model):
     with WorkerPoolExecutor(model, num_workers=2) as executor:
         reference = ModelExecutor(model).run_batch(masks[:, None])
         assert np.array_equal(executor.run_batch(masks[:, None]), reference)
-    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2) as failing:
+    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2, retry=STRICT) as failing:
         with pytest.raises(WorkerPoolError):
             failing.run_batch(np.zeros((5, 1, 8, 8)))
         # The pool survives a failed chunk and keeps serving.

@@ -30,6 +30,7 @@ from repro.pipeline import (
     InferencePipeline,
     ModelExecutor,
     ParallelConfig,
+    RetryPolicy,
     SegmentRing,
     WorkerPoolError,
     WorkerPoolExecutor,
@@ -38,6 +39,11 @@ from repro.pipeline import (
 )
 from repro.pipeline.executors import Executor
 from repro.pipeline.streaming import SEGMENT_PREFIX
+
+#: Pre-supervision failure semantics: no retries, no degradation — a worker
+#: failure surfaces immediately as WorkerPoolError (graceful degradation has
+#: its own coverage in tests/pipeline/test_supervision.py).
+STRICT = RetryPolicy(max_retries=0, degrade=False)
 
 
 @pytest.fixture(scope="module")
@@ -222,6 +228,34 @@ def test_atexit_releases_unclosed_ring_segments(tmp_path):
     assert not any(name in present for name in leaked)
 
 
+def test_atexit_with_unjoined_pools_exits_quietly():
+    """Interpreter shutdown with live pools (supervised and blind) must not
+    traceback: teardown is step-by-step guarded because worker handles may
+    already be reaped when ``__del__``/atexit run."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    script = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.core import create_model
+        from repro.pipeline import WorkerPoolExecutor
+        model = create_model("doinn", image_size=32, gp_channels=4, lp_base_channels=2)
+        supervised = WorkerPoolExecutor(model, num_workers=2)
+        supervised.run_batch(np.zeros((4, 1, 32, 32)))
+        blind = WorkerPoolExecutor(model, num_workers=2, supervised=False)
+        blind.run_batch(np.zeros((4, 1, 32, 32)))
+        print("RAN")
+        # exit WITHOUT close(): __del__ + atexit must tear down quietly.
+        """
+    )
+    env = dict(os.environ, PYTHONPATH=f"{src}{os.pathsep}" + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True, timeout=120
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "RAN" in proc.stdout
+    assert "Traceback" not in proc.stderr, proc.stderr
+
+
 # --------------------------------------------------------------------- #
 # No stale segments after worker failures (the PR 2 leak)
 # --------------------------------------------------------------------- #
@@ -244,7 +278,9 @@ class _FailsInWorkers(Executor):
 @pytest.mark.parametrize("streaming", [True, False])
 def test_no_stale_segments_after_worker_error(streaming):
     before = _repro_shm_files()
-    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2, streaming=streaming) as executor:
+    with WorkerPoolExecutor(
+        _FailsInWorkers(), num_workers=2, streaming=streaming, retry=STRICT
+    ) as executor:
         with pytest.raises(WorkerPoolError, match="marker-4242"):
             executor.run_batch(np.zeros((5, 1, 8, 8)))
         if not streaming:
@@ -256,10 +292,66 @@ def test_no_stale_segments_after_worker_error(streaming):
     assert _repro_shm_files() == before
 
 
+@pytest.mark.parametrize("streaming", [True, False])
+def test_sigkilled_worker_mid_batch_leaves_shm_clean(model, streaming):
+    """A worker SIGKILLed mid-batch (deterministic ``kill@0:0`` plan): the
+    supervised pool respawns it, the retried chunk reproduces the serial
+    output bit for bit, and ``close()`` leaves /dev/shm free of ``repro``
+    segments on both the ring and the per-call transport."""
+    before = _repro_shm_files()
+    masks = _random_masks(6, 32, seed=47)
+    reference = ModelExecutor(model).run_batch(masks[:, None])
+    with WorkerPoolExecutor(
+        model, num_workers=2, streaming=streaming, fault_plan="kill@0:0"
+    ) as executor:
+        out = executor.run_batch(masks[:, None])
+        np.testing.assert_array_equal(out, reference)
+        assert executor.robustness.workers_respawned >= 1
+        assert executor.robustness.chunks_retried >= 1
+    assert live_segment_names() == ()
+    assert _repro_shm_files() == before
+
+
+@pytest.mark.parametrize("streaming", [True, False])
+def test_atexit_cleans_shm_after_sigkilled_worker(streaming):
+    """Exit without close() *after* a worker was SIGKILLed mid-batch: the
+    registry's atexit hook still unlinks everything — a killed worker cannot
+    strand its mapped segments (workers never own them)."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    script = textwrap.dedent(
+        f"""
+        import numpy as np
+        from repro.core import create_model
+        from repro.pipeline import WorkerPoolExecutor, live_segment_names
+        model = create_model("doinn", image_size=32, gp_channels=4, lp_base_channels=2)
+        executor = WorkerPoolExecutor(
+            model, num_workers=2, streaming={streaming}, fault_plan="kill@0:0"
+        )
+        executor.run_batch(np.zeros((6, 1, 32, 32)))
+        assert executor.robustness.workers_respawned >= 1
+        print("LIVE:" + ",".join(live_segment_names()))
+        # exit WITHOUT close(): the registry's atexit hook must unlink.
+        """
+    )
+    env = dict(os.environ, PYTHONPATH=f"{src}{os.pathsep}" + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True, timeout=120
+    )
+    assert proc.returncode == 0, proc.stderr
+    line = next(l for l in proc.stdout.splitlines() if l.startswith("LIVE:"))
+    leaked = [name for name in line[len("LIVE:"):].split(",") if name]
+    if streaming:
+        assert leaked  # the ring really was live when the child exited
+    else:
+        assert not leaked  # per-call transport released inside the call
+    present = _repro_shm_files()
+    assert not any(name in present for name in leaked)
+
+
 def test_streaming_pool_recovers_after_worker_failure(model):
     masks = _random_masks(4, 32)
     reference = ModelExecutor(model).run_batch(masks[:, None])
-    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2) as failing:
+    with WorkerPoolExecutor(_FailsInWorkers(), num_workers=2, retry=STRICT) as failing:
         with pytest.raises(WorkerPoolError):
             failing.run_batch(np.zeros((5, 1, 8, 8)))
         # The ring survives a failed batch and keeps serving the next one.
