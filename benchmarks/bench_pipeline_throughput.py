@@ -32,6 +32,12 @@ Guards the three headlines of the pipeline perf work:
   beat their unfused pipelines by >= 1.2x ms/tile at ``batch_size=1`` while
   staying within 1e-12 — the UNet rows exist precisely because its whole up
   path is transposed convs, so they pin the deconv fusion win end to end.
+* **Compute backends** (PR 8): the serial compiled DOINN pipeline is timed
+  once per compute lane (:mod:`repro.nn.backends`): ``float64`` must stay
+  bit-identical to the default compiled pipeline, ``float32`` must hold the
+  calibrated lane tolerance while being at least as fast per tile, and the
+  ``blas`` / ``fft`` lanes must stay within 1e-12 — the per-lane rows land
+  in the sweep table either way.
 * **Supervision overhead** (PR 7): the supervised dispatch (liveness
   monitoring, per-chunk deadlines, retry/respawn bookkeeping in
   :mod:`repro.pipeline.supervision`) must cost <= 3% happy-path throughput
@@ -72,6 +78,15 @@ _FUSED_SPEEDUP_TARGET = 1.3
 #: chains are fused (PR 5) — UNet's up path is entirely transposed convs.
 _FUSED_DECONV_SPEEDUP_TARGET = 1.2
 _FUSED_EQUIVALENCE_ATOL = 1e-12
+#: Compute lanes swept on the serial compiled pipeline, with the max |delta|
+#: each may show vs the default compiled float64 pipeline (float32 bound from
+#: the calibrated tolerance suite in tests/nn/test_fusion.py).
+_BACKEND_LANES = {"float64": 0.0, "float32": 2e-5, "blas": 1e-12, "fft": 1e-12}
+#: float32 must be at least as fast per tile as float64 within timing noise
+#: (the lane halves memory traffic and doubles BLAS FLOP throughput; the
+#: measured win on a dedicated core is well above 1x, but a shared 1-core
+#: host only supports asserting not-slower).
+_FLOAT32_NOISE_TOLERANCE = 1.05
 _STREAMING_SPEEDUP_TARGET = 1.2
 #: Calls per timed round of the streaming comparison.  The streaming win is
 #: per *call* (segment creation, mmap and page warming skipped), so the
@@ -241,6 +256,32 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     unet_speedup = unet_per_tile["plain"] / unet_per_tile["fused"]
 
     # ------------------------------------------------------------------ #
+    # Compute-backend lanes (PR 8): serial compiled DOINN, one row per lane
+    # ------------------------------------------------------------------ #
+    backend_pipes = {
+        lane: harness.model_pipeline(model, num_workers=0, compile=True, backend=lane)
+        for lane in _BACKEND_LANES
+    }
+    backend_max_err = {}
+    for lane, pipe in backend_pipes.items():
+        pipe.predict(masks)  # warm-up (lane conversion, workspace/spectrum caches)
+        outputs = pipe.predict(masks, batch_size=profile.batch_size)
+        backend_max_err[lane] = float(np.abs(outputs - fused_outputs).max())
+    for lane, bound in _BACKEND_LANES.items():
+        assert backend_max_err[lane] <= bound, (
+            f"{lane} lane diverged from the compiled float64 pipeline: "
+            f"max |delta| = {backend_max_err[lane]:.3e} (bound {bound:.0e})"
+        )
+    backend_times = _interleaved_best(
+        {
+            lane: (lambda p=pipe: p.predict(masks, batch_size=profile.batch_size))
+            for lane, pipe in backend_pipes.items()
+        }
+    )
+    backend_per_tile = {lane: seconds / len(masks) for lane, seconds in backend_times.items()}
+    float32_speedup = backend_per_tile["float64"] / backend_per_tile["float32"]
+
+    # ------------------------------------------------------------------ #
     # Streaming shm ring vs per-call segments on a repeated-call workload
     # ------------------------------------------------------------------ #
     # OPC iteration loops and full-chip tile streams issue many consecutive
@@ -365,6 +406,17 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
                 f"{1.0 / unet_per_tile[engine]:.1f}",
             ]
         )
+    for lane in _BACKEND_LANES:
+        rows.append(
+            [
+                f"DOINN pipeline [compiled, {lane}]",
+                str(profile.batch_size),
+                "0",
+                "-",
+                f"{backend_per_tile[lane] * 1e3:.2f}",
+                f"{1.0 / backend_per_tile[lane]:.1f}",
+            ]
+        )
     stream_label = f"{_engine_label(pool_engine)} (x{_STREAMING_REPEAT_CALLS}-call stream)"
     for transport in ("per-call", "ring"):
         rows.append(
@@ -409,6 +461,13 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
         f"fused transposed-conv chains (compiled vs unfused, bs=1): "
         f"DOINN {fused_speedup:.2f}x, UNet {unet_speedup:.2f}x; "
         f"UNet fused max |delta| = {unet_max_err:.3e}\n"
+        f"compute lanes (serial compiled, bs={profile.batch_size}): "
+        + ", ".join(
+            f"{lane} {backend_per_tile[lane] * 1e3:.2f} ms/tile "
+            f"(max |delta| {backend_max_err[lane]:.1e})"
+            for lane in _BACKEND_LANES
+        )
+        + f"; float32 vs float64: {float32_speedup:.2f}x\n"
         f"streaming ring vs per-call shm ({stream_workers} workers, "
         f"x{_STREAMING_REPEAT_CALLS}-call stream): {streaming_speedup:.2f}x masks/sec\n"
         f"supervised vs blind dispatch ({stream_workers} workers, happy path): "
@@ -435,6 +494,17 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
             f"compiled {label} must give >= {_FUSED_DECONV_SPEEDUP_TARGET}x "
             f"model-forward throughput at bs=1, got {speedup:.2f}x"
         )
+
+    # The float32 lane halves memory traffic and doubles BLAS throughput: it
+    # must never be slower per tile than the float64 lane (beyond noise).
+    assert (
+        backend_per_tile["float32"]
+        <= backend_per_tile["float64"] * _FLOAT32_NOISE_TOLERANCE
+    ), (
+        f"float32 lane regressed vs float64: "
+        f"{backend_per_tile['float32'] * 1e3:.2f} ms/tile vs "
+        f"{backend_per_tile['float64'] * 1e3:.2f} ms/tile"
+    )
 
     # The bs=4 regression fix: batched execution must be at least as fast per
     # tile as single-tile execution (seed im2col made it 1.6x slower).

@@ -50,7 +50,7 @@ python -m pytest -x -q -p no:cacheprovider tests \
     --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py \
     --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py \
     --ignore=tests/pipeline/test_cache.py --ignore=tests/opc/test_incremental.py \
-    --ignore=tests/pipeline/test_supervision.py "$@"
+    --ignore=tests/pipeline/test_supervision.py --ignore=tests/pipeline/test_backends.py "$@"
 
 # -W error::FusionFallbackWarning: a fallback silently re-appearing anywhere
 # in the zoo (e.g. a transposed-conv declaration rotting back to unfused)
@@ -61,6 +61,23 @@ echo "== fusion equivalence suite (compiled == unfused for the whole zoo, no fal
 python -m pytest -x -q -p no:cacheprovider \
     -W "error::repro.nn.fusion.FusionFallbackWarning" \
     tests/nn/test_fusion.py tests/pipeline/test_compiled_pipeline.py "$@"
+
+# Backend matrix: the per-lane pipeline suite runs under the default
+# environment (every lane pinned explicitly), then the fusion + compiled
+# pipeline + backend suites re-run with REPRO_BACKEND=float32 — proving the
+# env knob engages end to end while compile_model and every explicitly
+# pinned comparison stay deterministic.  Both legs keep the fallback
+# warning escalated: no lane may reintroduce a silent unfused fallback.
+echo "== compute-backend matrix: per-lane pipeline suite (float64 env) =="
+python -m pytest -x -q -p no:cacheprovider \
+    -W "error::repro.nn.fusion.FusionFallbackWarning" \
+    tests/pipeline/test_backends.py "$@"
+
+echo "== compute-backend matrix: REPRO_BACKEND=float32 over fusion + pipeline suites =="
+REPRO_BACKEND=float32 python -m pytest -x -q -p no:cacheprovider \
+    -W "error::repro.nn.fusion.FusionFallbackWarning" \
+    tests/nn/test_fusion.py tests/pipeline/test_compiled_pipeline.py \
+    tests/pipeline/test_backends.py "$@"
 
 echo "== streaming + parallel worker-pool suites (pooled == serial, bit for bit) =="
 python -m pytest -x -q -p no:cacheprovider \

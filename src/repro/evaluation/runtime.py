@@ -137,6 +137,9 @@ def measure_model_throughput(
     num_workers: int | None = None,
     streaming: bool | None = None,
     retry: RetryPolicy | None = None,
+    compile: bool = False,
+    backend=None,
+    blas_threads: int | None = None,
 ) -> ThroughputResult:
     """Measure inference throughput of a learned model on one mask tile.
 
@@ -145,8 +148,11 @@ def measure_model_throughput(
     (Figure 6's deployment scenario).  ``num_workers`` shards those batches
     across a worker pool, ``streaming`` selects the persistent shared-memory
     ring vs the per-call transport, and ``retry`` sets the pool's supervision
-    policy (all ignored when an already-built pipeline is passed).  A
-    repeated-measurement loop is exactly the workload the streaming ring
+    policy (all ignored when an already-built pipeline is passed).
+    ``compile`` runs the model as a fused inference graph and ``backend`` /
+    ``blas_threads`` pick its compute lane and BLAS thread cap
+    (:mod:`repro.nn.backends`) — how Figure 6 rows are measured per backend.
+    A repeated-measurement loop is exactly the workload the streaming ring
     accelerates: every ``run_once`` after the first reuses the mapped
     segments.
     """
@@ -165,7 +171,7 @@ def measure_model_throughput(
     # interpreter exit.
     with InferencePipeline(
         model, batch_size=batch_size, num_workers=num_workers, streaming=streaming,
-        retry=retry,
+        retry=retry, compile=compile, backend=backend, blas_threads=blas_threads,
     ) as pipeline:
         return measure_pipeline_throughput(
             pipeline,

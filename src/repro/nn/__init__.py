@@ -7,6 +7,19 @@ baseline FNO, losses, optimizers and serialization.
 """
 
 from . import functional
+from .backends import (
+    BACKEND_ENV,
+    BLAS_THREADS_ENV,
+    DEFAULT_BACKEND,
+    BackendWorkspace,
+    ComputeBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    resolve_blas_threads,
+    set_blas_threads,
+)
 from .fusion import (
     CompiledChain,
     FusedChain,
@@ -43,6 +56,17 @@ from .tensor import Tensor, no_grad
 
 __all__ = [
     "functional",
+    "BACKEND_ENV",
+    "BLAS_THREADS_ENV",
+    "DEFAULT_BACKEND",
+    "BackendWorkspace",
+    "ComputeBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "resolve_blas_threads",
+    "set_blas_threads",
     "CompiledChain",
     "FusedChain",
     "FusedConvBNAct",

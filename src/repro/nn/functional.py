@@ -215,6 +215,8 @@ def conv_bn_act(
     input_is_padded: bool = False,
     output_padding: int = 0,
     out: np.ndarray | None = None,
+    gemm: np.ndarray | None = None,
+    stacked: bool = False,
 ) -> np.ndarray:
     """Fused inference kernel: conv (+ folded BN affine) (+ activation), one pass.
 
@@ -241,6 +243,19 @@ def conv_bn_act(
         Optional preallocated ``(N, C_out, H_out + 2*output_padding, W_out +
         2*output_padding)`` buffer whose border is already zero (a fused
         chain's scratch cache); only the interior is written.
+    gemm:
+        Optional GEMM scratch (a fused chain's buffer cache).  On the
+        bordered per-sample path (``output_padding > 0``) it holds one
+        sample's ``(C_out, L)`` output tile; on the ``stacked`` path it
+        holds the whole batch's ``(N*L, C_out)`` result.  Fully rewritten
+        every call, no zero-border contract.
+    stacked:
+        Stack every sample's patch matrix into one ``(N*L, C_in*kh*kw)``
+        GEMM (the threaded-BLAS backend lane) instead of one
+        cache-resident GEMM per sample.  Faster when BLAS is threaded, but
+        the GEMM shape now depends on ``N``, so results are only
+        tolerance-equivalent across batch partitionings — the per-sample
+        default stays the bit-identical reference.
     """
     _check_fused_activation(activation, negative_slope)
     x = np.asarray(x)
@@ -272,6 +287,40 @@ def conv_bn_act(
     w_mat = weight.reshape(c_out, -1)
     bias_col = None if bias is None else np.asarray(bias).reshape(c_out, 1)
     length = h_out * w_out
+    if stacked:
+        # Threaded-BLAS lane: one (N*L, C_in*kh*kw) @ (C_in*kh*kw, C_out)
+        # GEMM for the whole micro-batch, so a threaded BLAS has enough rows
+        # to split across cores.  The transpose/reshape is the single patch
+        # pack (same copy count as the per-sample loop, one bigger buffer).
+        k_len = c_in * kh * kw
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * length, k_len)
+        if gemm is None:
+            gemm = np.empty((n * length, c_out), dtype=dtype)
+        elif gemm.shape != (n * length, c_out) or gemm.dtype != dtype:
+            raise ValueError(
+                f"conv_bn_act: gemm buffer has shape {gemm.shape} dtype {gemm.dtype}, "
+                f"expected {(n * length, c_out)} dtype {dtype}"
+            )
+        part = np.matmul(cols, w_mat.T, out=gemm)
+        if bias is not None:
+            part += np.asarray(bias).reshape(1, c_out)
+        _apply_activation_inplace(part, activation, negative_slope)
+        out[:, :, output_padding : output_padding + h_out, output_padding : output_padding + w_out] = (
+            part.reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
+        )
+        return out
+    if output_padding:
+        # The bordered path cannot GEMM straight into the output interior
+        # (the border makes the rows non-contiguous), so it lands in a
+        # (C_out, L) scratch first — cached by the fused chain, not a fresh
+        # allocation per sample per call.
+        if gemm is None:
+            gemm = np.empty((c_out, length), dtype=dtype)
+        elif gemm.shape != (c_out, length) or gemm.dtype != dtype:
+            raise ValueError(
+                f"conv_bn_act: gemm buffer has shape {gemm.shape} dtype {gemm.dtype}, "
+                f"expected {(c_out, length)} dtype {dtype}"
+            )
     for i in range(n):
         # (C_in*kh*kw, L) patch matrix; for 1x1 stride-1 kernels the
         # transpose is trivial and reshape returns a zero-copy view.
@@ -281,7 +330,7 @@ def conv_bn_act(
             # bias/activation run in place on the cache-hot tile.
             part = np.matmul(w_mat, cols, out=out[i].reshape(c_out, length))
         else:
-            part = w_mat @ cols
+            part = np.matmul(w_mat, cols, out=gemm)
         if bias_col is not None:
             part += bias_col
         _apply_activation_inplace(part, activation, negative_slope)

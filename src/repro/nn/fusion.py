@@ -78,6 +78,13 @@ import warnings
 import numpy as np
 
 from . import functional as F
+from .backends import (
+    FFT_MIN_KERNEL_AREA,
+    BackendWorkspace,
+    ComputeBackend,
+    fft_conv_transpose_bn_act,
+    get_backend,
+)
 from .layers import BatchNorm2d, Conv2d, ConvTranspose2d, Identity, Module, Sequential
 from .tensor import Tensor, is_grad_enabled
 
@@ -169,11 +176,42 @@ class FusedConvBNAct:
         w_out = (wp - kw) // self.stride + 1
         return (n, self.out_channels, h_out + 2 * output_padding, w_out + 2 * output_padding)
 
-    def scratch_shape(self, input_shape: tuple):
+    def scratch_shape(self, input_shape: tuple, backend: ComputeBackend | None = None):
         """Per-sample scatter scratch this op needs (convolutions need none)."""
         return None
 
-    def apply(self, buf, out=None, output_padding: int = 0, scratch=None):
+    def gemm_shape(
+        self, input_shape: tuple, output_padding: int, backend: ComputeBackend | None = None
+    ):
+        """GEMM scratch this op needs from the chain's buffer cache.
+
+        The stacked-BLAS lane lands the whole batch in one ``(N*L, C_out)``
+        result; the bordered per-sample path (``output_padding > 0``) lands
+        each sample's ``(C_out, L)`` tile in scratch before the strided copy
+        into the zero-bordered output.  The borderless per-sample default
+        GEMMs straight into the output buffer and needs none.
+        """
+        n, _, hp, wp = input_shape
+        kh, kw = self.kernel_size
+        h_out = (hp - kh) // self.stride + 1
+        w_out = (wp - kw) // self.stride + 1
+        length = h_out * w_out
+        if backend is not None and backend.stacked_gemm:
+            return (n * length, self.out_channels)
+        if output_padding:
+            return (self.out_channels, length)
+        return None
+
+    def apply(
+        self,
+        buf,
+        out=None,
+        output_padding: int = 0,
+        scratch=None,
+        gemm=None,
+        backend: ComputeBackend | None = None,
+        workspace: BackendWorkspace | None = None,
+    ):
         return F.conv_bn_act(
             buf,
             self.weight,
@@ -185,6 +223,8 @@ class FusedConvBNAct:
             input_is_padded=True,
             output_padding=output_padding,
             out=out,
+            gemm=gemm,
+            stacked=backend is not None and backend.stacked_gemm,
         )
 
     @classmethod
@@ -303,20 +343,58 @@ class FusedConvTranspose:
         w_out = (w - 1) * self.stride - 2 * self.padding + kw
         return (n, self.out_channels, h_out + 2 * output_padding, w_out + 2 * output_padding)
 
-    def scratch_shape(self, input_shape: tuple):
+    def _uses_fft(self, backend: ComputeBackend | None) -> bool:
+        """FFT-domain lane engages on large kernels only (area >= threshold);
+        small up-convs stay on the direct scatter path where the strided
+        assignment is already cheaper than three FFTs."""
+        kh, kw = self.kernel_size
+        return backend is not None and backend.fft_deconv and kh * kw >= FFT_MIN_KERNEL_AREA
+
+    def scratch_shape(self, input_shape: tuple, backend: ComputeBackend | None = None):
         """Per-sample scatter image for overlapping/cropped kernels.
 
         The non-overlapping crop-free fast path (``stride == kh == kw``,
         ``padding == 0`` — the UNet up path) scatters straight into the
-        output buffer and needs no scratch.
+        output buffer and needs no scratch; the FFT-domain lane keeps its
+        own scratch in the chain's :class:`BackendWorkspace`.
         """
+        if self._uses_fft(backend):
+            return None
         kh, kw = self.kernel_size
         if self.padding == 0 and self.stride == kh and self.stride == kw:
             return None
         _, c_out, h_out, w_out = self.output_shape(input_shape, 0)
         return (c_out, h_out + 2 * self.padding, w_out + 2 * self.padding)
 
-    def apply(self, buf, out=None, output_padding: int = 0, scratch=None):
+    def gemm_shape(
+        self, input_shape: tuple, output_padding: int, backend: ComputeBackend | None = None
+    ):
+        """Transposed convs GEMM against the flattened input — no scratch."""
+        return None
+
+    def apply(
+        self,
+        buf,
+        out=None,
+        output_padding: int = 0,
+        scratch=None,
+        gemm=None,
+        backend: ComputeBackend | None = None,
+        workspace: BackendWorkspace | None = None,
+    ):
+        if self._uses_fft(backend):
+            return fft_conv_transpose_bn_act(
+                buf,
+                self.weight,
+                self.bias,
+                stride=self.stride,
+                padding=self.padding,
+                activation=self.activation,
+                negative_slope=self.negative_slope,
+                output_padding=output_padding,
+                out=out,
+                workspace=workspace,
+            )
         return F.conv_transpose_bn_act(
             buf,
             self.weight,
@@ -376,18 +454,25 @@ class FusedChain:
     one geometry to a call of another.
     """
 
-    #: Cached working buffers per chain before the cache resets — bounds
-    #: resident memory when a long-lived graph serves many distinct
+    #: Cached working buffers per chain before the oldest entry is evicted —
+    #: bounds resident memory when a long-lived graph serves many distinct
     #: geometries (batch remainders, varying tile sizes) while keeping the
     #: steady-state reuse of typical workloads (a few geometries per chain).
     MAX_CACHED_BUFFERS = 32
 
-    def __init__(self, ops, label: str = "") -> None:
+    #: Compute backend the chain runs under (None = the float64 default
+    #: path); set by :meth:`convert`.  Class-level so chains pickled before
+    #: the backend attribute existed keep working.
+    backend: ComputeBackend | None = None
+
+    def __init__(self, ops, label: str = "", backend: ComputeBackend | None = None) -> None:
         self.ops: list = list(ops)  # FusedConvBNAct | FusedConvTranspose
         if not self.ops:
             raise ValueError("a fused chain needs at least one op")
         self.label = label
+        self.backend = backend
         self._scratch: dict = {}
+        self._workspace = BackendWorkspace()
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -397,29 +482,54 @@ class FusedChain:
         state["_scratch"] = {}  # per-process working buffers, never shipped
         return state
 
+    # -- backend conversion --------------------------------------------- #
+    def convert(self, backend: ComputeBackend) -> None:
+        """Switch the chain to ``backend``, casting folded weights in place.
+
+        ``astype(copy=False)`` keeps same-dtype conversions (float64 <->
+        blas <-> fft) free; the scratch cache is dropped because its keyed
+        dtypes may no longer match.  Precision narrowing is one-way — the
+        graph-level :meth:`FusedInferenceGraph.convert` guards against
+        widening a narrowed graph.
+        """
+        dtype = backend.dtype
+        for op in self.ops:
+            op.weight = op.weight.astype(dtype, copy=False)
+            if op.bias is not None:
+                op.bias = op.bias.astype(dtype, copy=False)
+        self.backend = backend
+        self._scratch = {}
+        self._workspace = BackendWorkspace()
+
     # -- buffer cache --------------------------------------------------- #
     def _cached_zeros(self, key: tuple, shape: tuple, dtype) -> np.ndarray:
         """A zero-bordered scratch buffer, reused across same-geometry calls.
 
         Only the interior of a cached buffer is ever rewritten, so the border
-        stays zero from the one allocation.  The cache resets once
-        :data:`MAX_CACHED_BUFFERS` distinct geometries accumulate (buffers
-        still referenced by an in-flight run stay alive through their local
-        references; re-allocated ones start zeroed again).
+        stays zero from the one allocation.  Once :data:`MAX_CACHED_BUFFERS`
+        distinct geometries accumulate, only the least-recently-used entry
+        is evicted (hits refresh recency), so the steady-state buffers of an
+        alternating-geometry workload survive a stream of one-off shapes
+        instead of the whole cache thrashing.  Buffers still referenced by
+        an in-flight run stay alive through their local references;
+        re-allocated ones start zeroed again.
         """
         buf = self._scratch.get(key)
         if buf is None:
-            if len(self._scratch) >= self.MAX_CACHED_BUFFERS:
-                self._scratch.clear()
+            while len(self._scratch) >= self.MAX_CACHED_BUFFERS:
+                self._scratch.pop(next(iter(self._scratch)))
             buf = np.zeros(shape, dtype=dtype)
-            self._scratch[key] = buf
+        else:
+            del self._scratch[key]  # re-insert below: dict order is recency
+        self._scratch[key] = buf
         return buf
 
-    def _padded_input(self, x: np.ndarray, pad: int) -> np.ndarray:
+    def _padded_input(self, x: np.ndarray, pad: int, dtype=None) -> np.ndarray:
         n, c, h, w = x.shape
-        key = ("in", n, c, h, w, pad, x.dtype.str)
-        buf = self._cached_zeros(key, (n, c, h + 2 * pad, w + 2 * pad), x.dtype)
-        buf[:, :, pad : pad + h, pad : pad + w] = x
+        target = x.dtype if dtype is None else np.dtype(dtype)
+        key = ("in", n, c, h, w, pad, target.str)
+        buf = self._cached_zeros(key, (n, c, h + 2 * pad, w + 2 * pad), target)
+        buf[:, :, pad : pad + h, pad : pad + w] = x  # casts to the lane dtype
         return buf
 
     def _output_buffer(self, index: int, shape: tuple, dtype) -> np.ndarray:
@@ -432,12 +542,31 @@ class FusedChain:
         # the same op index and coincidentally equal shape.
         return self._cached_zeros(("scatter", index, shape, np.dtype(dtype).str), shape, dtype)
 
+    def _gemm_buffer(self, index: int, shape: tuple, dtype) -> np.ndarray:
+        # GEMM scratch (bordered conv tiles, stacked-BLAS results) is fully
+        # rewritten every call; like "scatter" it has no zero-border contract
+        # and its own namespace.
+        return self._cached_zeros(("gemm", index, shape, np.dtype(dtype).str), shape, dtype)
+
     # -- execution ------------------------------------------------------ #
     def run(self, x: np.ndarray) -> np.ndarray:
         """Run the chain on an ndarray batch ``(N, C, H, W)`` (inference only)."""
         ops = self.ops
+        backend = self.backend
         entry_pad = ops[0].input_pad
-        buf = self._padded_input(x, entry_pad) if entry_pad else np.asarray(x)
+        x = np.asarray(x)
+        target = None if backend is None else backend.dtype
+        if entry_pad:
+            buf = self._padded_input(x, entry_pad, dtype=target)
+        elif target is not None and x.dtype != target:
+            # Borderless entry into a non-native lane: one cached cast buffer
+            # (the float32 lane's only extra copy over the float64 path).
+            n, c, h, w = x.shape
+            buf = self._cached_zeros(("in", n, c, h, w, 0, target.str), x.shape, target)
+            buf[...] = x
+        else:
+            buf = x
+        workspace = self._workspace
         for index, op in enumerate(ops):
             nxt = ops[index + 1] if index + 1 < len(ops) else None
             out_pad = nxt.input_pad if nxt is not None else 0
@@ -445,13 +574,27 @@ class FusedChain:
             out = None
             if nxt is not None:
                 out = self._output_buffer(index, op.output_shape(buf.shape, out_pad), dtype)
-            scratch_shape = op.scratch_shape(buf.shape)
+            scratch_shape = op.scratch_shape(buf.shape, backend=backend)
             scratch = (
                 self._scatter_buffer(index, scratch_shape, dtype)
                 if scratch_shape is not None
                 else None
             )
-            buf = op.apply(buf, out=out, output_padding=out_pad, scratch=scratch)
+            gemm_shape = op.gemm_shape(buf.shape, out_pad, backend=backend)
+            gemm = (
+                self._gemm_buffer(index, gemm_shape, dtype)
+                if gemm_shape is not None
+                else None
+            )
+            buf = op.apply(
+                buf,
+                out=out,
+                output_padding=out_pad,
+                scratch=scratch,
+                gemm=gemm,
+                backend=backend,
+                workspace=workspace,
+            )
         return buf
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -672,8 +815,38 @@ class FusedInferenceGraph(Module):
         self.fallbacks = list(fallbacks or [])
         self.eval()
 
+    #: Compute backend the graph's chains run under (None = the float64
+    #: default); set by :meth:`convert`.  Class-level for forward/backward
+    #: pickle compatibility.
+    backend: ComputeBackend | None = None
+
     def forward(self, x: Tensor) -> Tensor:
         return self.module(x)
+
+    def convert(self, backend) -> "FusedInferenceGraph":
+        """Switch every fused chain to ``backend`` (name or instance), in place.
+
+        Same-dtype lane changes (float64 <-> blas <-> fft) are free and
+        reversible.  Narrowing to float32 casts the folded weights in place;
+        once narrowed, converting to a wider-dtype lane raises — the lost
+        precision cannot be recovered, recompile from the source model.
+        """
+        backend = get_backend(backend)
+        current = self.backend
+        if (
+            current is not None
+            and current.dtype != backend.dtype
+            and current.dtype.itemsize < backend.dtype.itemsize
+        ):
+            raise ValueError(
+                f"cannot convert a {current.name} graph to the {backend.name} backend: "
+                f"the folded weights were already narrowed to {current.dtype}; "
+                "recompile from the source model instead"
+            )
+        for chain in self.chains:
+            chain.convert(backend)
+        self.backend = backend
+        return self
 
     @property
     def num_fused_ops(self) -> int:
@@ -704,15 +877,23 @@ class FusedInferenceGraph(Module):
         )
 
 
-def compile_model(model: Module) -> FusedInferenceGraph:
+def compile_model(model: Module, backend=None) -> FusedInferenceGraph:
     """Compile a model into an eval-mode :class:`FusedInferenceGraph`.
 
     The source model is deep-copied first and never mutated: its parameters,
     buffers and training behaviour stay exactly as they were (the equivalence
     suite pins both directions).  The fold snapshots the current weights and
     batch-norm running statistics — recompile after ``load_state_dict``.
+
+    ``backend`` (a name or :class:`~repro.nn.backends.ComputeBackend`)
+    converts the compiled graph onto that compute lane.  Deliberately an
+    explicit argument only — ``compile_model`` never consults
+    ``REPRO_BACKEND`` (the pipeline/executor layer resolves the env var), so
+    direct compiles stay deterministic under any environment.
     """
     if isinstance(model, FusedInferenceGraph):
+        if backend is not None:
+            model.convert(backend)
         return model
     if not isinstance(model, Module):
         raise TypeError(f"compile_model expects an nn.Module, got {type(model).__name__}")
@@ -732,4 +913,7 @@ def compile_model(model: Module) -> FusedInferenceGraph:
         rewritten = CompiledChain(chain, source=source_name)
     else:
         _rewrite_tree(rewritten, chains, consumed, source_name, fallbacks)
-    return FusedInferenceGraph(rewritten, chains, source_name, fallbacks=fallbacks)
+    graph = FusedInferenceGraph(rewritten, chains, source_name, fallbacks=fallbacks)
+    if backend is not None:
+        graph.convert(backend)
+    return graph

@@ -88,6 +88,11 @@ class OPCConfig:
     epe_search_range: int = 24        # pixels
     record_history: bool = True
     num_workers: int | None = None    # worker pool for the simulation pipeline
+    #: BLAS thread cap for the simulation pipeline (see
+    #: :func:`repro.nn.backends.resolve_blas_threads`): ``None`` defers to
+    #: ``REPRO_BLAS_THREADS``, then 1-per-worker when pooled so pool workers
+    #: and BLAS threads don't oversubscribe the cores.
+    blas_threads: int | None = None
     #: Persistent shared-memory ring for the simulation pipeline.  OPC is the
     #: canonical streaming workload — the iterate-simulate-measure loop calls
     #: the simulator once per iteration on same-shaped masks, so the ring's
@@ -247,6 +252,7 @@ class OPCEngine:
             streaming=self.config.streaming,
             result_cache=self.config.result_cache,
             retry=self.config.retry,
+            blas_threads=self.config.blas_threads,
         )
 
     def close(self) -> None:

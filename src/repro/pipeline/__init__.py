@@ -25,6 +25,19 @@ driver that builds one — evaluation, OPC, experiment harnesses, benchmarks):
     workers.  Default: on whenever the pipeline is pooled.
 ``compile``
     Run a model engine as a fused inference graph (:mod:`repro.nn.fusion`).
+``backend`` / ``REPRO_BACKEND``
+    Compute lane of the compiled fused graph (:mod:`repro.nn.backends`):
+    ``float64`` (default, bit-identical to the uncompiled path), ``float32``
+    (folded weights narrowed at compile time; calibrated-tolerance
+    equivalence), ``blas`` (micro-batch GEMMs stacked into one threaded BLAS
+    call) or ``fft`` (FFT-domain large-kernel deconvolution).  Only engages
+    on compiled model engines; the cache key carries the lane, so results
+    from different lanes never mix.
+``blas_threads`` / ``REPRO_BLAS_THREADS``
+    BLAS thread cap composed with the worker pool: pooled pipelines default
+    to 1 thread per worker so pool workers times BLAS threads never
+    oversubscribes the cores; serial pipelines leave the library untouched
+    unless the knob is set.
 ``result_cache`` / ``REPRO_RESULT_CACHE``
     Bounded content-hash LRU in front of ``run``/``predict``
     (:mod:`repro.pipeline.cache`): exact input repeats are answered without

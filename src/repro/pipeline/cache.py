@@ -5,11 +5,15 @@ area instead of the mask area:
 
 * :class:`MaskResultCache` — a bounded (byte-budget) LRU in front of
   :meth:`repro.pipeline.InferencePipeline.run`, keyed by the content hash of
-  each input mask.  Exact repeats — dataset rebuilds, convergence re-checks,
-  the final ``build_mask`` after an OPC loop, the Figure 8 golden snapshot
-  sims — are answered from the cache without touching the executor.  Off by
-  default; enable per pipeline (``result_cache=True`` / a byte budget) or
-  fleet-wide with ``REPRO_RESULT_CACHE``.
+  each input mask *plus the pipeline's compute identity* (engine name,
+  compute-backend lane and lane dtype — see :mod:`repro.nn.backends`), so a
+  cache shared between, say, a ``float32``-lane pipeline and a ``float64``
+  one can never serve an entry produced under a different numeric contract.
+  Exact repeats — dataset rebuilds, convergence re-checks, the final
+  ``build_mask`` after an OPC loop, the Figure 8 golden snapshot sims — are
+  answered from the cache without touching the executor.  Off by default;
+  enable per pipeline (``result_cache=True`` / a byte budget) or fleet-wide
+  with ``REPRO_RESULT_CACHE``.
 * :class:`IncrementalState` — the dirty-tile ledger of the patched
   re-simulation plan (:meth:`~repro.pipeline.InferencePipeline.predict_patched`).
   The mask is viewed through the half-overlapping :class:`~repro.layout.tiling.TileSpec`

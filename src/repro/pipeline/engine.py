@@ -79,12 +79,14 @@ with both knobs above and stays bit-identical across worker shardings.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..layout.tiling import TileSpec, extract_tiles, stitch_cores, tile_grid
+from ..nn.backends import ComputeBackend, set_blas_threads
 from .cache import (
     IncrementalState,
     MaskResultCache,
@@ -207,6 +209,20 @@ class InferencePipeline:
         retries, degradation on).  Retried and degraded chunks are
         bit-identical by construction; per-run counters land on
         :class:`PipelineStats`.  Ignored for serial pipelines.
+    backend:
+        Compute lane of the compiled fused graph (:mod:`repro.nn.backends`):
+        ``"float64"`` (default, bit-identical), ``"float32"`` (calibrated
+        tolerance, ~half the memory traffic), ``"blas"`` (stacked GEMMs for
+        threaded BLAS) or ``"fft"`` (FFT-domain large-kernel deconvs).
+        ``None`` defers to the ``REPRO_BACKEND`` environment variable (then
+        ``float64``); requires ``compile=True`` for non-default lanes and
+        only applies to model engines.
+    blas_threads:
+        BLAS thread cap (:func:`repro.nn.backends.set_blas_threads`):
+        applied inside each pool worker, or in-process when serial.  ``None``
+        defers to ``REPRO_BLAS_THREADS``, then 1-per-worker when pooled /
+        leave-the-library-alone when serial, so ``workers x BLAS threads``
+        never oversubscribes by default.
     """
 
     def __init__(
@@ -223,6 +239,8 @@ class InferencePipeline:
         shard_tiles: bool | None = None,
         result_cache: bool | int | None = None,
         retry: RetryPolicy | None = None,
+        backend: "str | ComputeBackend | None" = None,
+        blas_threads: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -231,11 +249,12 @@ class InferencePipeline:
             chunk_size = parallel.chunk_size if chunk_size is None else chunk_size
             streaming = parallel.streaming if streaming is None else streaming
             retry = parallel.retry if retry is None else retry
+            blas_threads = parallel.blas_threads if blas_threads is None else blas_threads
         parallel = ParallelConfig(
             num_workers=num_workers, chunk_size=chunk_size, streaming=streaming,
-            retry=retry,
+            retry=retry, blas_threads=blas_threads,
         )
-        self.executor: Executor = as_executor(engine, compile=compile)
+        self.executor: Executor = as_executor(engine, compile=compile, backend=backend)
         self.compiled = getattr(self.executor, "compiled", False)
         self.num_workers = parallel.resolved_workers()
         if self.num_workers > 1 and not isinstance(self.executor, WorkerPoolExecutor):
@@ -245,6 +264,32 @@ class InferencePipeline:
         self.streaming = (
             self.executor.streaming if isinstance(self.executor, WorkerPoolExecutor) else False
         )
+        # Serial pipelines apply the BLAS cap in-process (pool workers get it
+        # through the pool initializer; the parent stays untouched there so a
+        # capped pooled pipeline doesn't detune later serial work).  The
+        # serial default is 0 = leave the library alone.
+        threads = parallel.resolved_blas_threads()
+        if threads and self.num_workers <= 1:
+            set_blas_threads(threads)
+        #: Compute backend of the executor (None for simulator engines).
+        self.backend = getattr(self.executor, "backend", None)
+        # Fold the compute identity (engine + backend lane + output dtype)
+        # into every result-cache key: two pipelines sharing a cache across
+        # backends/precisions must never serve each other's entries.  Keyed
+        # off the *inner* executor so pooled and serial runs of the same
+        # engine still share (they are bit-identical by construction).
+        inner = self.executor.inner if isinstance(self.executor, WorkerPoolExecutor) else self.executor
+        inner_backend = getattr(inner, "backend", None)
+        identity = "|".join(
+            (
+                inner.name,
+                inner_backend.name if inner_backend is not None else "golden",
+                inner_backend.dtype.str if inner_backend is not None else "<f8",
+            )
+        )
+        self._compute_identity = hashlib.blake2b(
+            identity.encode(), digest_size=8
+        ).digest()
         self.shard_tiles = shard_tiles
         self.tile_size = tile_size
         self.batch_size = batch_size
@@ -575,8 +620,14 @@ class InferencePipeline:
     # Execution plans
     # ------------------------------------------------------------------ #
     def _cache_key(self, mask2d: np.ndarray, stitched: bool) -> bytes:
-        """Cache key of one mask: content hash + resolved execution plan."""
-        return hash_array(mask2d) + (b"s" if stitched else b"n")
+        """Cache key of one mask: content hash + execution plan + compute identity.
+
+        The compute-identity suffix (engine name, backend lane, output dtype)
+        keeps caches shared across pipelines honest: a float32-lane run can
+        never hit a float64 entry (and vice versa), and two different engines
+        never alias.
+        """
+        return hash_array(mask2d) + (b"s" if stitched else b"n") + self._compute_identity
 
     def _run_cached(
         self, batch4: np.ndarray, batch_size: int, stats: PipelineStats, stitched: bool

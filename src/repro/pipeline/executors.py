@@ -33,6 +33,7 @@ import numpy as np
 
 from ..litho.hopkins import AerialWorkspace
 from ..nn import FusedInferenceGraph, Module, Tensor, compile_model, eval_mode, no_grad
+from ..nn.backends import DEFAULT_BACKEND, ComputeBackend, get_backend, resolve_backend
 
 __all__ = ["Executor", "ModelExecutor", "SimulatorExecutor", "as_executor"]
 
@@ -77,13 +78,43 @@ class ModelExecutor(Executor):
     #: bs>=2 ~1.3x slower per tile than bs=1 (the regression this fixes).
     FUSED_ACTIVATION_CHANNEL_ESTIMATE = 64
 
-    def __init__(self, model: Module, compile: bool = False) -> None:
+    def __init__(
+        self,
+        model: Module,
+        compile: bool = False,
+        backend: "str | ComputeBackend | None" = None,
+    ) -> None:
         if not isinstance(model, Module):
             raise TypeError(f"ModelExecutor expects an nn.Module, got {type(model).__name__}")
+        # Backend resolution (explicit arg > REPRO_BACKEND > float64) happens
+        # here, at the executor boundary — compile_model itself never reads
+        # the env var, so direct compiles stay environment-immune.
+        requested = backend
+        resolved = resolve_backend(backend)
         if isinstance(model, FusedInferenceGraph):
             compile = True
         elif compile:
             model = compile_model(model)
+        if isinstance(model, FusedInferenceGraph):
+            current = model.backend
+            if requested is not None:
+                target = get_backend(requested)
+                if current is None or current.name != target.name:
+                    model.convert(target)
+            elif current is None and resolved.name != DEFAULT_BACKEND:
+                # Env-selected lane; a pre-converted graph keeps its lane
+                # (the caller's explicit compile wins over the environment).
+                model.convert(resolved)
+            self.backend = model.backend if model.backend is not None else resolved
+        else:
+            if requested is not None and get_backend(requested).name != DEFAULT_BACKEND:
+                raise ValueError(
+                    f"backend {get_backend(requested).name!r} requires the compiled "
+                    "fused path; pass compile=True"
+                )
+            # An env-resolved non-default lane is ignored on the unfused path
+            # (there is nothing to convert); explicit requests raise above.
+            self.backend = get_backend(DEFAULT_BACKEND)
         self.model = model
         self.compiled = bool(compile)
         base = model.source_name if isinstance(model, FusedInferenceGraph) else type(model).__name__
@@ -103,8 +134,19 @@ class ModelExecutor(Executor):
             if self.compiled
             else self.ACTIVATION_CHANNEL_ESTIMATE
         )
-        per_sample = channels * height * width * 8
+        per_sample = channels * height * width * self.backend.dtype.itemsize
         return max(1, self.MICRO_BATCH_BUDGET_BYTES // max(per_sample, 1))
+
+    @staticmethod
+    def _finalize(out: np.ndarray) -> np.ndarray:
+        """Executor boundary: predictions leave in float64 whatever the lane.
+
+        Keeps stitching/splicing arithmetic (and the pooled shared-memory
+        output specs) dtype-stable across backends; within a lane the cast is
+        per-sample and partition invariant, so pooled/sharded plans stay
+        bit-identical to serial wherever the lane itself is.
+        """
+        return out if out.dtype == np.float64 else out.astype(np.float64)
 
     @property
     def supports_stitching(self) -> bool:
@@ -120,12 +162,14 @@ class ModelExecutor(Executor):
         micro = self._micro_batch(batch.shape[-2], batch.shape[-1])
         with eval_mode(self.model), no_grad():
             if batch.shape[0] <= micro:
-                return self.model(Tensor(batch)).numpy()
-            return np.concatenate(
-                [
-                    self.model(Tensor(batch[start : start + micro])).numpy()
-                    for start in range(0, batch.shape[0], micro)
-                ]
+                return self._finalize(self.model(Tensor(batch)).numpy())
+            return self._finalize(
+                np.concatenate(
+                    [
+                        self.model(Tensor(batch[start : start + micro])).numpy()
+                        for start in range(0, batch.shape[0], micro)
+                    ]
+                )
             )
 
     # -- DOINN path hooks for the large-tile stitching plan ------------- #
@@ -139,12 +183,14 @@ class ModelExecutor(Executor):
         micro = self._micro_batch(tiles.shape[-2], tiles.shape[-1])
         with eval_mode(self.model), no_grad():
             if tiles.shape[0] <= micro:
-                return self.model.global_perception(Tensor(tiles)).numpy()
-            return np.concatenate(
-                [
-                    self.model.global_perception(Tensor(tiles[start : start + micro])).numpy()
-                    for start in range(0, tiles.shape[0], micro)
-                ]
+                return self._finalize(self.model.global_perception(Tensor(tiles)).numpy())
+            return self._finalize(
+                np.concatenate(
+                    [
+                        self.model.global_perception(Tensor(tiles[start : start + micro])).numpy()
+                        for start in range(0, tiles.shape[0], micro)
+                    ]
+                )
             )
 
     def run_reconstruction(self, gp: np.ndarray, masks: np.ndarray) -> np.ndarray:
@@ -168,7 +214,7 @@ class ModelExecutor(Executor):
                 outputs.append(
                     self.model.reconstruction(Tensor(gp[start : start + micro]), lp).numpy()
                 )
-            return outputs[0] if len(outputs) == 1 else np.concatenate(outputs)
+            return self._finalize(outputs[0] if len(outputs) == 1 else np.concatenate(outputs))
 
 
 class SimulatorExecutor(Executor):
@@ -219,12 +265,19 @@ class SimulatorExecutor(Executor):
         return self.simulator.resist.develop(aerial)
 
 
-def as_executor(engine, output: str = "resist", compile: bool = False) -> Executor:
+def as_executor(
+    engine,
+    output: str = "resist",
+    compile: bool = False,
+    backend: "str | ComputeBackend | None" = None,
+) -> Executor:
     """Adapt a model, simulator or executor to the :class:`Executor` interface.
 
     ``compile=True`` compiles a model engine into a fused inference graph
     (see :func:`repro.nn.compile_model`); it is rejected for engines that have
-    no fused path rather than silently ignored.
+    no fused path rather than silently ignored.  ``backend`` selects the
+    compute lane of the compiled graph (see :mod:`repro.nn.backends`); like
+    ``compile`` it only applies to raw model engines.
     """
     if isinstance(engine, Executor):
         if compile:
@@ -232,12 +285,21 @@ def as_executor(engine, output: str = "resist", compile: bool = False) -> Execut
                 "compile=True requires a raw model engine; wrap the model with "
                 "ModelExecutor(model, compile=True) before building executors"
             )
+        if backend is not None:
+            raise ValueError(
+                "backend= requires a raw model engine; construct "
+                "ModelExecutor(model, compile=True, backend=...) directly"
+            )
         return engine
     if isinstance(engine, Module):
-        return ModelExecutor(engine, compile=compile)
+        return ModelExecutor(engine, compile=compile, backend=backend)
     if hasattr(engine, "aerial") and hasattr(engine, "resist"):
         if compile:
             raise ValueError("compile=True requires a model engine; the golden simulator has no fused path")
+        if backend is not None:
+            raise ValueError(
+                "backend lanes apply to model engines; the golden simulator has no fused path"
+            )
         return SimulatorExecutor(engine, output=output)
     raise TypeError(
         f"cannot build an executor from {type(engine).__name__}; expected an "

@@ -79,6 +79,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..nn.backends import resolve_blas_threads, set_blas_threads
 from .executors import Executor, as_executor
 from .faults import FaultPlan, resolve_fault_plan
 from .streaming import SegmentRing, create_segment, release_segment, resolve_streaming
@@ -139,16 +140,24 @@ class ParallelConfig:
     degradation) as a :class:`~repro.pipeline.supervision.RetryPolicy`;
     ``None`` defers to ``REPRO_WORKER_TIMEOUT`` / ``REPRO_WORKER_RETRIES`` /
     ``REPRO_DEGRADE`` (then the policy defaults).
+    ``blas_threads``: BLAS thread cap applied inside each pool worker (and to
+    the parent when serial); ``None`` defers to ``REPRO_BLAS_THREADS``, then
+    1-per-worker when pooled / leave-the-library-alone (0) when serial, so
+    ``workers x BLAS threads`` never oversubscribes by default (see
+    :mod:`repro.nn.backends` and ``docs/configuration.md``).
     """
 
     num_workers: int | None = None
     chunk_size: int | None = None
     streaming: bool | None = None
     retry: RetryPolicy | None = None
+    blas_threads: int | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.blas_threads is not None and self.blas_threads < 0:
+            raise ValueError(f"blas_threads must be >= 0, got {self.blas_threads}")
 
     def resolved_workers(self) -> int:
         return resolve_num_workers(self.num_workers)
@@ -158,6 +167,9 @@ class ParallelConfig:
 
     def resolved_retry(self) -> RetryPolicy:
         return resolve_retry_policy(self.retry)
+
+    def resolved_blas_threads(self) -> int:
+        return resolve_blas_threads(self.blas_threads, self.resolved_workers())
 
 
 class WorkerPoolError(RuntimeError):
@@ -207,11 +219,18 @@ _WORKER_SEGMENTS: dict[str, tuple[str, int, shared_memory.SharedMemory]] = {}
 _WORKER_FAULTS: FaultPlan | None = None
 
 
-def _init_worker(executor: Executor, fault_plan: FaultPlan | None = None) -> None:
+def _init_worker(
+    executor: Executor, fault_plan: FaultPlan | None = None, blas_threads: int = 0
+) -> None:
     global _WORKER_EXECUTOR, _WORKER_FAULTS
     _WORKER_EXECUTOR = executor
     _WORKER_FAULTS = fault_plan
     _WORKER_SEGMENTS.clear()
+    if blas_threads:
+        # Runtime ctypes call, not an env var: under the fork start method
+        # the BLAS library is already initialized when the worker starts, so
+        # OPENBLAS_NUM_THREADS would be read too late to retune it.
+        set_blas_threads(blas_threads)
 
 
 def _map_segment(spec, transient: list) -> shared_memory.SharedMemory:
@@ -299,15 +318,17 @@ class WorkerPoolExecutor(Executor):
         retry: RetryPolicy | None = None,
         fault_plan: "FaultPlan | str | None" = None,
         supervised: bool = True,
+        blas_threads: int | None = None,
     ) -> None:
         if config is not None:
             num_workers = config.num_workers if num_workers is None else num_workers
             chunk_size = config.chunk_size if chunk_size is None else chunk_size
             streaming = config.streaming if streaming is None else streaming
             retry = config.retry if retry is None else retry
+            blas_threads = config.blas_threads if blas_threads is None else blas_threads
         config = ParallelConfig(
             num_workers=num_workers, chunk_size=chunk_size, streaming=streaming,
-            retry=retry,
+            retry=retry, blas_threads=blas_threads,
         )
         inner = as_executor(engine)
         if isinstance(inner, WorkerPoolExecutor):
@@ -317,6 +338,7 @@ class WorkerPoolExecutor(Executor):
         self.chunk_size = config.chunk_size
         self.streaming = config.resolved_streaming()
         self.retry = config.resolved_retry()
+        self.blas_threads = config.resolved_blas_threads()
         self.fault_plan = resolve_fault_plan(fault_plan)
         # supervised=False keeps the blind pool.map dispatch of the pre-
         # supervision pipeline alive as the bench baseline (no monitoring, no
@@ -348,6 +370,11 @@ class WorkerPoolExecutor(Executor):
     def compiled(self) -> bool:
         """Whether the wrapped executor runs a compiled fused graph."""
         return getattr(self.inner, "compiled", False)
+
+    @property
+    def backend(self):
+        """Compute backend of the wrapped executor (None for simulators)."""
+        return getattr(self.inner, "backend", None)
 
     # -- executor interface -------------------------------------------- #
     def run_batch(self, batch: np.ndarray) -> np.ndarray:
@@ -605,13 +632,13 @@ class WorkerPoolExecutor(Executor):
                     self.num_workers,
                     _run_chunk,
                     initializer=_init_worker,
-                    initargs=(self.inner, self.fault_plan),
+                    initargs=(self.inner, self.fault_plan, self.blas_threads),
                     context=ctx,
                 )
             else:
                 self._pool = ctx.Pool(
                     processes=self.num_workers,
                     initializer=_init_worker,
-                    initargs=(self.inner, self.fault_plan),
+                    initargs=(self.inner, self.fault_plan, self.blas_threads),
                 )
         return self._pool

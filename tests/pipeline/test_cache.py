@@ -348,3 +348,43 @@ def test_pipeline_stats_new_fields_default():
     assert stats.cache_hits == 0
     assert stats.cache_misses == 0
     assert stats.dirty_tiles == 0
+
+
+# --------------------------------------------------------------------- #
+# Compute identity in the cache key (PR 8 bugfix)
+# --------------------------------------------------------------------- #
+def test_result_cache_keys_by_compute_backend(tiny_model_factory):
+    """Bugfix pin: the key folds in the compute identity (engine + backend
+    lane + lane dtype), so a float32-lane pipeline sharing a cache store with
+    a float64 one is never served the other lane's entries — previously the
+    key was mask content alone and the first lane to run poisoned the rest."""
+    model = tiny_model_factory("doinn")
+    masks = np.stack([_random_mask(32, seed=s) for s in (1, 2)])
+    p64 = InferencePipeline(model, batch_size=4, compile=True, result_cache=True)
+    first = p64.run(masks)
+    assert first.stats.cache_misses == 2
+
+    p32 = InferencePipeline(model, batch_size=4, compile=True, backend="float32")
+    p32.result_cache = p64.result_cache  # deliberately share the store
+    crossed = p32.run(masks)
+    assert crossed.stats.cache_hits == 0 and crossed.stats.cache_misses == 2
+
+    # The float64 entries are untouched: a re-run hits them bit-identically,
+    # and a fresh same-lane pipeline computes the same identity.
+    again = p64.run(masks)
+    assert again.stats.cache_hits == 2 and again.stats.cache_misses == 0
+    assert np.array_equal(again.outputs, first.outputs)
+    twin = InferencePipeline(model, batch_size=4, compile=True)
+    twin.result_cache = p64.result_cache
+    assert twin.run(masks).stats.cache_hits == 2
+
+
+def test_result_cache_distinguishes_simulator_from_model(simulator, tiny_model_factory):
+    """The golden simulator's identity ("golden") differs from any model
+    engine's, so a shared store keyed on the same mask never crosses them."""
+    mask = _random_mask(32)
+    sim = InferencePipeline(simulator, batch_size=4, result_cache=True)
+    sim.predict(mask)
+    model = InferencePipeline(tiny_model_factory("doinn"), batch_size=4)
+    model.result_cache = sim.result_cache
+    assert model.run(mask).stats.cache_hits == 0

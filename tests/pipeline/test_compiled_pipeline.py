@@ -15,6 +15,7 @@ import pytest
 
 from repro.litho import LithoSimulator
 from repro.nn import FusedInferenceGraph, compile_model
+from repro.nn.backends import resolve_backend
 from repro.pipeline import (
     InferencePipeline,
     ModelExecutor,
@@ -22,7 +23,16 @@ from repro.pipeline import (
     as_executor,
 )
 
-TOL = dict(rtol=1e-12, atol=1e-12)
+# Under the CI backend matrix (REPRO_BACKEND=float32) the compiled executors
+# in this suite run the float32 lane while the unfused references stay
+# float64, so fused-vs-unfused comparisons hold at the calibrated lane
+# tolerance instead of 1e-12.  Within-lane bit-identity pins (partition
+# invariance, pooled-vs-serial) are unaffected — every lane keeps those.
+_LANE = resolve_backend()
+if _LANE.dtype.itemsize == 8:
+    TOL = dict(rtol=1e-12, atol=1e-12)
+else:
+    TOL = dict(rtol=1e-5, atol=1e-5)
 
 
 @pytest.fixture(scope="module")
@@ -223,7 +233,12 @@ def test_compiled_micro_batch_budgets_fused_working_set(model, height, width):
     expected_fused = max(
         1,
         fused.MICRO_BATCH_BUDGET_BYTES
-        // (fused.FUSED_ACTIVATION_CHANNEL_ESTIMATE * height * width * 8),
+        // (
+            fused.FUSED_ACTIVATION_CHANNEL_ESTIMATE
+            * height
+            * width
+            * fused.backend.dtype.itemsize
+        ),
     )
     assert plain._micro_batch(height, width) == expected_plain
     assert fused._micro_batch(height, width) == expected_fused
@@ -232,6 +247,8 @@ def test_compiled_micro_batch_budgets_fused_working_set(model, height, width):
 
 def test_compiled_micro_batch_on_figure6_tiles(model):
     """The measured regression geometry: 64x64 tiles must micro-batch at 1
-    compiled (fused working set ~2 MiB/sample) vs 2 unfused."""
+    compiled (fused working set ~2 MiB/sample) vs 2 unfused.  Pinned to the
+    float64 lane explicitly — the float32 lane's working set is half the
+    size, so its micro-batches are legitimately larger."""
     assert ModelExecutor(model)._micro_batch(64, 64) == 2
-    assert ModelExecutor(model, compile=True)._micro_batch(64, 64) == 1
+    assert ModelExecutor(model, compile=True, backend="float64")._micro_batch(64, 64) == 1
