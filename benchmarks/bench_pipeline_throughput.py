@@ -81,6 +81,7 @@ _FUSED_EQUIVALENCE_ATOL = 1e-12
 #: Compute lanes swept on the serial compiled pipeline, with the max |delta|
 #: each may show vs the default compiled float64 pipeline (float32 bound from
 #: the calibrated tolerance suite in tests/nn/test_fusion.py).
+# repro: ok(DTYPE001, registered backend lane names from repro.nn.backends, not a dtype narrowing)
 _BACKEND_LANES = {"float64": 0.0, "float32": 2e-5, "blas": 1e-12, "fft": 1e-12}
 #: float32 must be at least as fast per tile as float64 within timing noise
 #: (the lane halves memory traffic and doubles BLAS FLOP throughput; the
@@ -279,6 +280,7 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
         }
     )
     backend_per_tile = {lane: seconds / len(masks) for lane, seconds in backend_times.items()}
+    # repro: ok(DTYPE001, backend lane name used as a dict key, not a dtype narrowing)
     float32_speedup = backend_per_tile["float64"] / backend_per_tile["float32"]
 
     # ------------------------------------------------------------------ #
@@ -498,11 +500,11 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     # The float32 lane halves memory traffic and doubles BLAS throughput: it
     # must never be slower per tile than the float64 lane (beyond noise).
     assert (
-        backend_per_tile["float32"]
+        backend_per_tile["float32"]  # repro: ok(DTYPE001, backend lane name keying the timing dict)
         <= backend_per_tile["float64"] * _FLOAT32_NOISE_TOLERANCE
     ), (
         f"float32 lane regressed vs float64: "
-        f"{backend_per_tile['float32'] * 1e3:.2f} ms/tile vs "
+        f"{backend_per_tile['float32'] * 1e3:.2f} ms/tile vs "  # repro: ok(DTYPE001, backend lane name keying the timing dict)
         f"{backend_per_tile['float64'] * 1e3:.2f} ms/tile"
     )
 

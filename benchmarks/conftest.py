@@ -8,11 +8,9 @@ they appear even with output capture enabled) as well as written to
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-
 import pytest
 
+from repro import knobs
 from repro.experiments import Harness, artifacts_dir, get_profile
 from repro.pipeline import resolve_num_workers
 
@@ -53,7 +51,7 @@ def compile_inference(request) -> bool:
     """Whether model pipelines in this run should use compiled fused graphs."""
     flag = request.config.getoption("--compile")
     if flag is None:
-        return os.environ.get("REPRO_COMPILE", "").strip().lower() in ("1", "true", "yes", "on")
+        return bool(knobs.read_flag("REPRO_COMPILE"))
     return bool(flag)
 
 

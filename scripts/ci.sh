@@ -42,6 +42,15 @@ check_shm_clean() {
     fi
 }
 
+# Static-analysis gate first: the AST linter machine-checks the engine's
+# conventions (knob registry, shm hygiene, dtype boundaries, hot-path
+# allocation discipline, exception discipline — see docs/static_analysis.md)
+# over every Python file in the tree, with zero baseline entries.  It is the
+# cheapest gate, so a convention violation fails the build before any test
+# time is spent.
+echo "== repro.analysis static-analysis gate (zero findings, zero baseline) =="
+python -m repro.analysis src benchmarks examples scripts
+
 # The stages partition the tier-1 suite (no test runs twice): everything
 # except the fusion, streaming/parallel, incremental/caching and supervision
 # files first, then each suite as its own visibly-labelled gate.

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate the knob tables in docs/configuration.md from repro.knobs.
+
+The central knob registry (src/repro/knobs.py) is the single source of
+truth for every ``REPRO_*`` environment variable: name, parser, default,
+and doc text.  This script rewrites the generated tables between the
+``knob-table:<section>:begin/end`` markers in docs/configuration.md so the
+reference cannot drift from the code.  The ENV002 lint rule
+(``python -m repro.analysis``) runs the same ``knobs.sync_markdown`` and
+fails CI when the committed docs are stale.
+
+Usage:
+    python scripts/gen_config_docs.py           # rewrite in place
+    python scripts/gen_config_docs.py --check   # exit 1 if stale, write nothing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import knobs  # noqa: E402  (path bootstrap above)
+
+DOC_PATH = REPO_ROOT / "docs" / "configuration.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed tables are current; write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    original = DOC_PATH.read_text(encoding="utf-8")
+    updated, problems = knobs.sync_markdown(original)
+    for problem in problems:
+        print(f"gen_config_docs: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+
+    if updated == original:
+        print(f"gen_config_docs: {DOC_PATH.relative_to(REPO_ROOT)} is current")
+        return 0
+    if args.check:
+        print(
+            f"gen_config_docs: {DOC_PATH.relative_to(REPO_ROOT)} is stale; "
+            "run python scripts/gen_config_docs.py",
+            file=sys.stderr,
+        )
+        return 1
+    DOC_PATH.write_text(updated, encoding="utf-8")
+    print(f"gen_config_docs: rewrote {DOC_PATH.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

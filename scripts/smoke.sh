@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export REPRO_PROFILE="${REPRO_PROFILE:-quick}"
 
+echo "== repro.analysis lint =="
+python -m repro.analysis src benchmarks examples scripts
+
 echo "== tier-1 tests =="
 python -m pytest -x -q tests "$@"
 

@@ -1,0 +1,38 @@
+"""AST-based invariant linter for the engine's correctness contracts.
+
+Run with ``python -m repro.analysis`` (see ``docs/static_analysis.md`` for
+the rule catalogue, pragma syntax, and how to add a rule).  The CI gate in
+``scripts/ci.sh`` runs it over ``src/ benchmarks/ examples/ scripts/`` with
+an empty baseline — zero findings, zero grandfathered entries.
+"""
+
+from .framework import (
+    AnalysisResult,
+    FileContext,
+    Finding,
+    ProjectContext,
+    Rule,
+    analyze,
+    collect_files,
+    format_baseline,
+    get_rule,
+    iter_rules,
+    load_baseline,
+    register_rule,
+)
+from . import rules as _rules  # noqa: F401  (register the built-in rule set)
+
+__all__ = [
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "analyze",
+    "collect_files",
+    "format_baseline",
+    "get_rule",
+    "iter_rules",
+    "load_baseline",
+    "register_rule",
+]

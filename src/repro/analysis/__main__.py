@@ -1,0 +1,80 @@
+"""CLI entry point: ``python -m repro.analysis [paths ...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (argparse).  Output is one
+``path:line: RULE message`` line per finding plus a final summary line —
+stable and greppable for CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .framework import DEFAULT_TARGETS, analyze, format_baseline, iter_rules, load_baseline
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-specific static analysis: machine-check the engine's invariants",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)} under --root)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root for display paths and docs lookups (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="ignore findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings to FILE and exit 0 (incremental adoption)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-finding output (summary line only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    root = Path(args.root) if args.root else Path.cwd()
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [root / target for target in DEFAULT_TARGETS if (root / target).is_dir()]
+        if not paths:
+            parser.error(f"no default targets ({', '.join(DEFAULT_TARGETS)}) under {root}")
+
+    baseline = load_baseline(Path(args.baseline)) if args.baseline else None
+    result = analyze(paths, root=root, baseline=baseline)
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(format_baseline(result.findings), encoding="utf-8")
+        print(
+            f"repro.analysis: wrote {len(result.findings)} baseline entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to {args.write_baseline}"
+        )
+        return 0
+
+    if not args.quiet:
+        for finding in result.findings:
+            print(finding.format())
+    print(result.summary())
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Core machinery of the repo-specific static-analysis pass.
+
+``repro.analysis`` machine-checks the *conventions* eight PRs of engine work
+established — knob reads, shared-memory hygiene, dtype boundaries, hot-path
+allocation discipline, exception-handling discipline — as a small pluggable
+AST lint framework:
+
+* a **rule registry** (:func:`register_rule`): each rule owns an id like
+  ``ENV001``, a one-line title, and ``check_file`` / ``check_project`` hooks;
+* **findings** with stable ``path:line: RULE message`` formatting (greppable
+  in CI logs; sorted by path, line, rule);
+* **suppression pragmas**: a trailing or preceding comment of the form
+  ``repro: ok(RULE, reason)`` (with a ``#`` comment marker in front)
+  suppresses that rule on that line — the reason is mandatory, and malformed
+  pragmas are themselves a finding (PRAGMA001);
+* a **baseline** mechanism for incremental adoption elsewhere: a baseline
+  file records findings to ignore, keyed by (rule, path, message) so line
+  drift doesn't invalidate it.  This repo ships with an *empty* baseline —
+  the CI gate runs with zero grandfathered entries.
+
+The rules themselves live in :mod:`repro.analysis.rules`; the CLI in
+``repro.analysis.__main__`` (``python -m repro.analysis``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "analyze",
+    "collect_files",
+    "format_baseline",
+    "get_rule",
+    "iter_rules",
+    "load_baseline",
+    "register_rule",
+]
+
+#: Directories scanned when the CLI is given no paths.
+DEFAULT_TARGETS = ("src", "benchmarks", "examples", "scripts")
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache"}
+
+#: A well-formed suppression pragma: ``repro: ok(RULE, reason)`` after a
+#: ``#``.  The reason is mandatory and must be non-empty; PRAGMA001 flags
+#: anything that starts like a pragma but does not parse.
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*ok\(\s*(?P<rule>[A-Z][A-Z0-9]*)\s*,\s*(?P<reason>[^)]*?)\s*\)"
+)
+
+#: Anything that *looks* like a pragma attempt (used by PRAGMA001 to catch
+#: malformed ones that the suppression scan above would silently ignore).
+PRAGMA_MARKER_RE = re.compile(r"#\s*repro\s*:")
+
+_BASELINE_HEADER = "# repro.analysis baseline v1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule: str
+    path: str      # display path (relative to the analysis root when possible)
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def baseline_key(self) -> str:
+        return f"{self.rule}\t{self.path}\t{self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` / ``title`` / ``description`` and override
+    ``check_file`` (called once per Python file) and/or ``check_project``
+    (called once per run, after every file was parsed — for cross-file
+    contracts like the docs/registry sync).
+    """
+
+    id: str = ""
+    title: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        return ()
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its id."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def iter_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id."""
+    return tuple(_RULES[key] for key in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _RULES[rule_id]
+
+
+def known_rule_ids() -> frozenset[str]:
+    return frozenset(_RULES)
+
+
+class FileContext:
+    """One parsed Python file plus the derived lookups rules need."""
+
+    def __init__(self, path: Path, display: str) -> None:
+        self.path = path
+        self.display = display
+        self.source = path.read_text(encoding="utf-8", errors="replace")
+        self.lines = self.source.splitlines()
+        try:
+            self.tree: ast.AST | None = ast.parse(self.source)
+        except SyntaxError:
+            self.tree = None
+        self._parents: dict[int, ast.AST] | None = None
+        self._pragma_lines: dict[int, set[str]] | None = None
+        self._docstring_ids: frozenset[int] | None = None
+
+    # -- derived views (built lazily, once) ----------------------------- #
+
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(child) -> parent`` for every node in the tree."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            if self.tree is not None:
+                for parent in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(parent):
+                        parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parents
+        current = parents.get(id(node))
+        while current is not None:
+            yield current
+            current = parents.get(id(current))
+
+    def enclosing_function(self, node: ast.AST) -> "ast.FunctionDef | ast.AsyncFunctionDef | None":
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    @property
+    def pragma_lines(self) -> dict[int, set[str]]:
+        """``line number -> rule ids suppressed on that line``.
+
+        A pragma suppresses the line it sits on; a pragma on a comment-only
+        line also covers the next line, so multi-clause statements can be
+        annotated without overlong lines.  Only well-formed pragmas with a
+        non-empty reason suppress anything — PRAGMA001 reports the rest.
+        """
+        if self._pragma_lines is None:
+            covered: dict[int, set[str]] = {}
+            for lineno, text in enumerate(self.lines, start=1):
+                for match in PRAGMA_RE.finditer(text):
+                    if not match["reason"].strip():
+                        continue
+                    covered.setdefault(lineno, set()).add(match["rule"])
+                    if text.lstrip().startswith("#"):
+                        covered.setdefault(lineno + 1, set()).add(match["rule"])
+            self._pragma_lines = covered
+        return self._pragma_lines
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.pragma_lines.get(line, ())
+
+    @property
+    def docstring_ids(self) -> frozenset[int]:
+        """``id()`` of every string constant used as a bare expression.
+
+        Covers real docstrings and block-comment strings — rules that police
+        literals (e.g. dtype strings) skip these, since prose mentioning a
+        dtype is not a narrowing operation.
+        """
+        if self._docstring_ids is None:
+            ids: set[int] = set()
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    if (
+                        isinstance(node, ast.Expr)
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str)
+                    ):
+                        ids.add(id(node.value))
+            self._docstring_ids = frozenset(ids)
+        return self._docstring_ids
+
+    def matches_suffix(self, suffixes: Iterable[str]) -> bool:
+        """Whether this file's normalized path ends with any given suffix."""
+        normalized = self.path.as_posix()
+        return any(normalized.endswith(suffix) for suffix in suffixes)
+
+    def finding(self, rule_id: str, node_or_line, message: str) -> Finding:
+        line = node_or_line if isinstance(node_or_line, int) else node_or_line.lineno
+        return Finding(rule=rule_id, path=self.display, line=line, message=message)
+
+
+@dataclass
+class ProjectContext:
+    """The whole analysis run: root directory plus every parsed file."""
+
+    root: Path
+    files: list[FileContext] = field(default_factory=list)
+
+    def display_path(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding]
+    files_scanned: int
+    suppressed_baseline: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def summary(self) -> str:
+        return (
+            f"repro.analysis: {len(self.findings)} finding(s) across "
+            f"{self.files_scanned} file(s)"
+            + (f", {self.suppressed_baseline} baselined" if self.suppressed_baseline else "")
+        )
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.setdefault(path.resolve(), None)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    seen.setdefault(candidate.resolve(), None)
+    return sorted(seen)
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Read a baseline file into a set of finding keys."""
+    keys: set[str] = set()
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def format_baseline(findings: Iterable[Finding]) -> str:
+    """Serialize findings as a baseline file (stable order, unique keys)."""
+    keys = sorted({f.baseline_key() for f in findings})
+    return "\n".join([_BASELINE_HEADER, *keys]) + "\n"
+
+
+def analyze(
+    paths: Iterable[Path],
+    *,
+    root: Path | None = None,
+    baseline: set[str] | None = None,
+) -> AnalysisResult:
+    """Run every registered rule over ``paths``.
+
+    ``root`` anchors display paths and project-level rules (docs lookups);
+    it defaults to the current working directory.  ``baseline`` entries are
+    filtered out of the result and counted separately.
+    """
+    # Rules register at import time; import here so `analyze` works however
+    # the package is entered.
+    from . import rules as _rules  # noqa: F401  (import-for-side-effect)
+
+    root = Path(root) if root is not None else Path.cwd()
+    project = ProjectContext(root=root)
+    for path in collect_files(paths):
+        project.files.append(FileContext(path, project.display_path(path)))
+
+    findings: list[Finding] = []
+    for ctx in project.files:
+        for rule in iter_rules():
+            for finding in rule.check_file(ctx):
+                if not ctx.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    for rule in iter_rules():
+        findings.extend(rule.check_project(project))
+
+    suppressed_baseline = 0
+    if baseline:
+        kept = []
+        for finding in findings:
+            if finding.baseline_key() in baseline:
+                suppressed_baseline += 1
+            else:
+                kept.append(finding)
+        findings = kept
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return AnalysisResult(
+        findings=findings,
+        files_scanned=len(project.files),
+        suppressed_baseline=suppressed_baseline,
+    )

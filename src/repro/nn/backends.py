@@ -52,6 +52,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import knobs
+
 try:  # pragma: no cover - exercised indirectly; scipy ships in the image
     from scipy import fft as _sp_fft
 except ImportError:  # pragma: no cover - fallback for scipy-less installs
@@ -136,7 +138,7 @@ def resolve_backend(backend: str | ComputeBackend | None = None) -> ComputeBacke
     """Resolve the active backend: explicit arg > ``REPRO_BACKEND`` > default."""
     if backend is not None:
         return get_backend(backend)
-    raw = os.environ.get(BACKEND_ENV)
+    raw = knobs.get_raw(BACKEND_ENV)
     if raw is None or raw == "":
         return _REGISTRY[DEFAULT_BACKEND]
     if raw not in _REGISTRY:
@@ -295,14 +297,8 @@ def resolve_blas_threads(blas_threads: int | None = None, num_workers: int = 0) 
         if blas_threads < 0:
             raise ValueError(f"blas_threads must be >= 0, got {blas_threads}")
         return int(blas_threads)
-    raw = os.environ.get(BLAS_THREADS_ENV)
-    if raw is not None and raw != "":
-        try:
-            value = int(raw)
-        except ValueError:
-            raise ValueError(f"{BLAS_THREADS_ENV}={raw!r} is not an integer") from None
-        if value < 0:
-            raise ValueError(f"{BLAS_THREADS_ENV}={raw!r} must be >= 0")
+    value = knobs.read_int(BLAS_THREADS_ENV, minimum=0)
+    if value is not None:
         return value
     return 1 if num_workers > 1 else 0
 

@@ -107,6 +107,7 @@ def col2im(
     h_out = _conv_output_size(h, kh, stride, padding)
     w_out = _conv_output_size(w, kw, stride, padding)
     cols = cols.reshape(n, c, kh, kw, h_out, w_out)
+    # repro: ok(ALLOC001, col2im is the autograd/training adjoint, not the fused eval hot path)
     image = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
     if stride >= kh and stride >= kw:
         sn, sc, sh, sw = image.strides
@@ -155,6 +156,7 @@ def conv2d(
     # shape is independent of the batch partitioning, so outputs are
     # bit-identical however a stream is batched or sharded across workers
     # (BLAS picks different, differently-rounding kernels per matrix shape).
+    # repro: ok(ALLOC001, unfused autograd conv2d; the fused eval path owns the cached buffers)
     out = np.empty((n, c_out, h_out, w_out), dtype=np.result_type(windows, weight.data))
     for i in range(n):
         part = np.tensordot(windows[i], weight.data, axes=([0, 3, 4], [1, 2, 3]))
@@ -274,6 +276,7 @@ def conv_bn_act(
     oh, ow = h_out + 2 * output_padding, w_out + 2 * output_padding
     dtype = np.result_type(windows, weight)
     if out is None:
+        # repro: ok(ALLOC001, API fallback when no out= buffer is passed; FusedChain always passes its cached one)
         alloc = np.zeros if output_padding else np.empty
         out = alloc((n, c_out, oh, ow), dtype=dtype)
     elif out.shape != (n, c_out, oh, ow) or out.dtype != dtype:
@@ -295,6 +298,7 @@ def conv_bn_act(
         k_len = c_in * kh * kw
         cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * length, k_len)
         if gemm is None:
+            # repro: ok(ALLOC001, scratch fallback when the caller passes no buffer; FusedChain passes its cached one)
             gemm = np.empty((n * length, c_out), dtype=dtype)
         elif gemm.shape != (n * length, c_out) or gemm.dtype != dtype:
             raise ValueError(
@@ -315,6 +319,7 @@ def conv_bn_act(
         # (C_out, L) scratch first — cached by the fused chain, not a fresh
         # allocation per sample per call.
         if gemm is None:
+            # repro: ok(ALLOC001, scratch fallback when the caller passes no buffer; FusedChain passes its cached one)
             gemm = np.empty((c_out, length), dtype=dtype)
         elif gemm.shape != (c_out, length) or gemm.dtype != dtype:
             raise ValueError(
@@ -451,6 +456,7 @@ def conv_transpose_bn_act(
     oh, ow = h_out + 2 * output_padding, w_out + 2 * output_padding
     dtype = np.result_type(x, weight)
     if out is None:
+        # repro: ok(ALLOC001, API fallback when no out= buffer is passed; FusedChain always passes its cached one)
         alloc = np.zeros if output_padding else np.empty
         out = alloc((n, c_out, oh, ow), dtype=dtype)
     elif out.shape != (n, c_out, oh, ow) or out.dtype != dtype:
@@ -465,6 +471,7 @@ def conv_transpose_bn_act(
     if not direct:
         h_pad, w_pad = h_out + 2 * padding, w_out + 2 * padding
         if scatter is None:
+            # repro: ok(ALLOC001, scratch fallback when the caller passes no buffer; FusedChain passes its cached one)
             scatter = np.empty((c_out, h_pad, w_pad), dtype=dtype)
         elif scatter.shape != (c_out, h_pad, w_pad) or scatter.dtype != dtype:
             raise ValueError(
@@ -560,6 +567,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
 
     def backward(grad: np.ndarray) -> None:
+        # repro: ok(ALLOC001, max-pool backward is training-only; gradients are not the fused hot path)
         grad_windows = np.zeros_like(windows)
         np.put_along_axis(grad_windows, argmax[..., None], grad[..., None], axis=-1)
         grad_x = (

@@ -49,6 +49,7 @@ def is_grad_enabled() -> bool:
 
 def _to_array(data) -> np.ndarray:
     if isinstance(data, np.ndarray):
+        # repro: ok(DTYPE001, dtype equality check that accepts caller-provided float32 arrays; nothing narrows here)
         if data.dtype == np.float64 or data.dtype == np.float32:
             return data
         if np.issubdtype(data.dtype, np.complexfloating):

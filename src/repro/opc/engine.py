@@ -25,11 +25,11 @@ keeps its windows dirty forever).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import knobs
 from ..layout.geometry import Layout
 from ..layout.rasterize import rasterize
 from ..litho.simulator import LithoSimulator
@@ -51,9 +51,6 @@ __all__ = [
 #: Environment variable consulted when ``OPCConfig.incremental`` is ``None``.
 INCREMENTAL_ENV = "REPRO_INCREMENTAL_OPC"
 
-_TRUE_FLAGS = ("1", "true", "yes", "on")
-_FALSE_FLAGS = ("0", "false", "no", "off")
-
 
 def resolve_incremental(incremental: bool | None = None) -> bool:
     """Resolve the incremental knob: argument > ``REPRO_INCREMENTAL_OPC`` > on.
@@ -65,14 +62,8 @@ def resolve_incremental(incremental: bool | None = None) -> bool:
     """
     if incremental is not None:
         return bool(incremental)
-    raw = os.environ.get(INCREMENTAL_ENV, "").strip().lower()
-    if not raw:
-        return True
-    if raw in _TRUE_FLAGS:
-        return True
-    if raw in _FALSE_FLAGS:
-        return False
-    raise ValueError(f"{INCREMENTAL_ENV}={raw!r} is not a boolean flag")
+    value = knobs.read_flag(INCREMENTAL_ENV)
+    return True if value is None else value
 
 
 @dataclass(frozen=True)

@@ -56,12 +56,12 @@ call), so the incremental plan is never materially slower than the plain one.
 from __future__ import annotations
 
 import hashlib
-import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import knobs
 from ..layout.tiling import TileSpec
 
 __all__ = [
@@ -83,10 +83,6 @@ RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
 #: Byte budget used when the cache is enabled without an explicit size.
 DEFAULT_CACHE_BUDGET_BYTES = 256 * 1024 * 1024
 
-_TRUE_FLAGS = ("1", "true", "yes", "on")
-_FALSE_FLAGS = ("", "0", "false", "no", "off")
-
-
 def resolve_cache_budget(result_cache: bool | int | None = None) -> int:
     """Resolve the result-cache knob to a byte budget (0 = disabled).
 
@@ -101,17 +97,19 @@ def resolve_cache_budget(result_cache: bool | int | None = None) -> int:
             return 0
         budget = int(result_cache)
         return max(budget, 0)
-    raw = os.environ.get(RESULT_CACHE_ENV, "").strip().lower()
-    if raw in _FALSE_FLAGS:
-        return 0
-    if raw in _TRUE_FLAGS:
-        return DEFAULT_CACHE_BUDGET_BYTES
+    raw = knobs.get_raw(RESULT_CACHE_ENV) or ""
     try:
-        return max(int(raw), 0)
-    except ValueError:
-        raise ValueError(
-            f"{RESULT_CACHE_ENV}={raw!r} is not a boolean flag or byte budget"
-        ) from None
+        flag = knobs.parse_bool(raw, name=RESULT_CACHE_ENV)
+    except knobs.KnobError:
+        try:
+            return max(int(raw.strip()), 0)
+        except ValueError:
+            raise knobs.KnobError(
+                f"{RESULT_CACHE_ENV}={raw.strip().lower()!r} is not a boolean flag or byte budget"
+            ) from None
+    if flag is None or flag is False:
+        return 0
+    return DEFAULT_CACHE_BUDGET_BYTES
 
 
 def hash_array(array: np.ndarray) -> bytes:

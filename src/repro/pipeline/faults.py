@@ -47,6 +47,8 @@ import signal
 import time
 from dataclasses import dataclass
 
+from .. import knobs
+
 __all__ = [
     "FAULT_PLAN_ENV",
     "FaultPlan",
@@ -184,5 +186,5 @@ def resolve_fault_plan(plan: "FaultPlan | str | None" = None) -> FaultPlan | Non
     """
     if plan is not None:
         return plan if isinstance(plan, FaultPlan) else FaultPlan.parse(plan)
-    raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    raw = knobs.read_string(FAULT_PLAN_ENV)
     return FaultPlan.parse(raw) if raw else None

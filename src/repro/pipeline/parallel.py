@@ -70,7 +70,6 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
-import os
 import sys
 import traceback
 import warnings
@@ -79,6 +78,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from .. import knobs
 from ..nn.backends import resolve_blas_threads, set_blas_threads
 from .executors import Executor, as_executor
 from .faults import FaultPlan, resolve_fault_plan
@@ -112,13 +112,9 @@ NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
 def resolve_num_workers(num_workers: int | None = None) -> int:
     """Resolve a worker count: explicit argument > ``REPRO_NUM_WORKERS`` > 0."""
     if num_workers is None:
-        raw = os.environ.get(NUM_WORKERS_ENV, "").strip()
-        if not raw:
+        num_workers = knobs.read_int(NUM_WORKERS_ENV, minimum=0)
+        if num_workers is None:
             return 0
-        try:
-            num_workers = int(raw)
-        except ValueError as exc:
-            raise ValueError(f"{NUM_WORKERS_ENV}={raw!r} is not an integer") from exc
     num_workers = int(num_workers)
     if num_workers < 0:
         raise ValueError(f"num_workers must be >= 0, got {num_workers}")
@@ -288,6 +284,7 @@ def _run_chunk(task, attempt: int = 0) -> str | None:
             _WORKER_FAULTS.inject(call, chunk, attempt)
         _execute_chunk(task)
         return None
+    # repro: ok(EXC001, worker-side failure classification: every failure is serialized as a traceback string so the supervisor can retry or degrade)
     except BaseException:
         return traceback.format_exc()
 
@@ -422,6 +419,7 @@ class WorkerPoolExecutor(Executor):
                     # reaped, and a secondary error here would mask the real
                     # one — swallow it.
                     pool.join()
+            # repro: ok(EXC001, best-effort pool teardown at interpreter shutdown; see comment above)
             except Exception:
                 pass
         if self._ring is not None:
@@ -437,6 +435,7 @@ class WorkerPoolExecutor(Executor):
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
         try:
             self.close()
+        # repro: ok(EXC001, __del__ runs during interpreter shutdown where half the module graph may be gone; nothing can be reported)
         except Exception:
             pass
 

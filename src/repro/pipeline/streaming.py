@@ -40,6 +40,8 @@ import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
+from .. import knobs
+
 __all__ = [
     "SEGMENT_PREFIX",
     "STREAMING_ENV",
@@ -60,9 +62,6 @@ SEGMENT_PREFIX = "repro"
 #: given, mirroring ``REPRO_NUM_WORKERS`` for the worker count.
 STREAMING_ENV = "REPRO_STREAMING"
 
-_TRUE_FLAGS = ("1", "true", "yes", "on")
-_FALSE_FLAGS = ("0", "false", "no", "off")
-
 
 def resolve_streaming(streaming: bool | None = None) -> bool:
     """Resolve the streaming knob: explicit argument > ``REPRO_STREAMING`` > on.
@@ -75,14 +74,8 @@ def resolve_streaming(streaming: bool | None = None) -> bool:
     """
     if streaming is not None:
         return bool(streaming)
-    raw = os.environ.get(STREAMING_ENV, "").strip().lower()
-    if not raw:
-        return True
-    if raw in _TRUE_FLAGS:
-        return True
-    if raw in _FALSE_FLAGS:
-        return False
-    raise ValueError(f"{STREAMING_ENV}={raw!r} is not a boolean flag")
+    value = knobs.read_flag(STREAMING_ENV)
+    return True if value is None else value
 
 
 # ---------------------------------------------------------------------- #

@@ -36,11 +36,12 @@ from :class:`RetryPolicy` (``REPRO_WORKER_TIMEOUT`` / ``REPRO_WORKER_RETRIES``
 
 from __future__ import annotations
 
-import os
 import signal
 import time
 from dataclasses import dataclass, field, replace
 from multiprocessing import connection
+
+from .. import knobs
 
 __all__ = [
     "DEGRADE_ENV",
@@ -60,9 +61,6 @@ WORKER_RETRIES_ENV = "REPRO_WORKER_RETRIES"
 DEGRADE_ENV = "REPRO_DEGRADE"
 
 DEFAULT_MAX_RETRIES = 2
-
-_TRUE_FLAGS = frozenset({"1", "true", "yes", "on"})
-_FALSE_FLAGS = frozenset({"0", "false", "no", "off"})
 
 
 @dataclass(frozen=True)
@@ -108,54 +106,20 @@ class RetryPolicy:
         return resolve_retry_policy(self)
 
 
-def _env_float(name: str) -> float | None:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return None
-    try:
-        return float(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be a number of seconds, got {raw!r}") from None
-
-
-def _env_int(name: str) -> int | None:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be a non-negative integer, got {raw!r}") from None
-    if value < 0:
-        raise ValueError(f"{name} must be a non-negative integer, got {raw!r}")
-    return value
-
-
-def _env_flag(name: str) -> bool | None:
-    raw = os.environ.get(name, "").strip().lower()
-    if not raw:
-        return None
-    if raw in _TRUE_FLAGS:
-        return True
-    if raw in _FALSE_FLAGS:
-        return False
-    raise ValueError(
-        f"{name} must be one of {sorted(_TRUE_FLAGS | _FALSE_FLAGS)}, got {raw!r}"
-    )
-
-
 def resolve_retry_policy(policy: RetryPolicy | None = None) -> RetryPolicy:
     """Resolve ``None`` fields: explicit value > environment > default."""
     base = policy if policy is not None else RetryPolicy()
-    timeout = base.timeout if base.timeout is not None else _env_float(WORKER_TIMEOUT_ENV)
+    timeout = base.timeout
+    if timeout is None:
+        timeout = knobs.read_float(WORKER_TIMEOUT_ENV)
     if timeout is not None and timeout <= 0:
         timeout = None  # 0 = deadline explicitly off
     max_retries = base.max_retries
     if max_retries is None:
-        max_retries = _env_int(WORKER_RETRIES_ENV)
+        max_retries = knobs.read_int(WORKER_RETRIES_ENV, minimum=0)
     if max_retries is None:
         max_retries = DEFAULT_MAX_RETRIES
-    degrade = base.degrade if base.degrade is not None else _env_flag(DEGRADE_ENV)
+    degrade = base.degrade if base.degrade is not None else knobs.read_flag(DEGRADE_ENV)
     if degrade is None:
         degrade = True
     return RetryPolicy(
@@ -323,11 +287,12 @@ class SupervisedPool:
             if worker.process.is_alive():
                 worker.process.kill()
                 worker.process.join(1.0)
+        # repro: ok(EXC001, best-effort teardown of a possibly-crashed worker; join/kill on a reaped process may raise and must not mask the caller's path)
         except Exception:
             pass
         try:
             worker.conn.close()
-        except Exception:
+        except OSError:
             pass
 
     def _prune_dead(self) -> None:
@@ -353,19 +318,20 @@ class SupervisedPool:
         for worker in workers:
             try:
                 worker.conn.send(None)
-            except Exception:
-                pass
+            except OSError:
+                pass  # pipe already broken; the join/kill below still runs
         for worker in workers:
             try:
                 worker.process.join(5.0)
                 if worker.process.is_alive():
                     worker.process.kill()
                     worker.process.join(1.0)
+            # repro: ok(EXC001, best-effort shutdown; a worker that died mid-close must not abort closing its siblings)
             except Exception:
                 pass
             try:
                 worker.conn.close()
-            except Exception:
+            except OSError:
                 pass
 
     # -- dispatch ----------------------------------------------------------
@@ -428,6 +394,7 @@ class SupervisedPool:
                 return
             try:
                 fresh = self._spawn()
+            # repro: ok(EXC001, respawn-failure classification: any spawn error degrades the pool to broken instead of crashing the supervisor loop)
             except Exception:
                 self.broken = True
                 return
@@ -525,6 +492,7 @@ class SupervisedPool:
                         )
                         try:
                             worker.process.kill()
+                        # repro: ok(EXC001, deadline enforcement: the worker may exit between the liveness check and the kill; either way it gets replaced)
                         except Exception:
                             pass
                         replace_worker(worker)

@@ -1,0 +1,99 @@
+"""CLI behavior (`python -m repro.analysis`) and the repo-wide gate."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import iter_rules
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = textwrap.dedent(
+    """\
+    import os
+    value = os.environ.get("REPRO_NUM_WORKERS")
+    """
+)
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    mod = tmp_path / "mod.py"
+    mod.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(mod), "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s) across 1 file(s)" in out
+
+
+def test_findings_exit_one_with_greppable_lines(tmp_path, capsys):
+    mod = tmp_path / "mod.py"
+    mod.write_text(BAD_SOURCE, encoding="utf-8")
+    assert main([str(mod), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "mod.py:2: ENV001 " in out
+    assert "1 finding(s) across 1 file(s)" in out
+
+
+def test_quiet_suppresses_per_finding_lines(tmp_path, capsys):
+    mod = tmp_path / "mod.py"
+    mod.write_text(BAD_SOURCE, encoding="utf-8")
+    assert main([str(mod), "--root", str(tmp_path), "--quiet"]) == 1
+    out = capsys.readouterr().out
+    assert "ENV001" not in out
+    assert "1 finding(s)" in out
+
+
+def test_write_then_read_baseline(tmp_path, capsys):
+    mod = tmp_path / "mod.py"
+    mod.write_text(BAD_SOURCE, encoding="utf-8")
+    baseline = tmp_path / "baseline.txt"
+
+    assert main(
+        [str(mod), "--root", str(tmp_path), "--write-baseline", str(baseline)]
+    ) == 0
+    assert "wrote 1 baseline entry" in capsys.readouterr().out
+
+    assert main(
+        [str(mod), "--root", str(tmp_path), "--baseline", str(baseline)]
+    ) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_list_rules_prints_the_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in iter_rules():
+        assert rule.id in out
+    assert "ENV001" in out and "PRAGMA001" in out
+
+
+def test_default_targets_require_a_repo_shaped_root(tmp_path, capsys):
+    # No src/benchmarks/examples/scripts under the root: usage error (2).
+    try:
+        code = main(["--root", str(tmp_path)])
+    except SystemExit as exc:  # argparse.error raises SystemExit(2)
+        code = exc.code
+    assert code == 2
+
+
+def test_repo_is_clean_with_empty_baseline(capsys):
+    """The CI gate: zero findings over the whole tree, no baseline."""
+    targets = [
+        str(REPO_ROOT / name)
+        for name in ("src", "benchmarks", "examples", "scripts")
+        if (REPO_ROOT / name).is_dir()
+    ]
+    assert len(targets) >= 3
+    assert main([*targets, "--root", str(REPO_ROOT)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_ci_and_smoke_scripts_run_the_gate():
+    ci = (REPO_ROOT / "scripts" / "ci.sh").read_text(encoding="utf-8")
+    smoke = (REPO_ROOT / "scripts" / "smoke.sh").read_text(encoding="utf-8")
+    gate = "python -m repro.analysis src benchmarks examples scripts"
+    assert gate in ci
+    assert gate in smoke
+    # The gate runs before the tier-1 suite in CI.
+    assert ci.index(gate) < ci.index("== tier-1 tests ==")

@@ -1,0 +1,158 @@
+"""Framework-level behavior: pragma suppression, baselines, file collection,
+finding formatting, and degraded parsing."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import (
+    Finding,
+    analyze,
+    collect_files,
+    format_baseline,
+    load_baseline,
+)
+
+BAD_ENV_READ = textwrap.dedent(
+    """\
+    import os
+    value = os.environ.get("REPRO_NUM_WORKERS")
+    """
+)
+
+
+def write(tmp_path, relpath, source):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return target
+
+
+# --------------------------------------------------------------------- #
+# pragma suppression
+# --------------------------------------------------------------------- #
+
+def test_trailing_pragma_suppresses_that_line(tmp_path):
+    target = write(
+        tmp_path, "mod.py",
+        """\
+        import os
+        value = os.environ.get("X")  # repro: ok(ENV001, fixture: testing suppression)
+        """,
+    )
+    assert analyze([target], root=tmp_path).findings == []
+
+
+def test_comment_line_pragma_covers_the_next_line(tmp_path):
+    target = write(
+        tmp_path, "mod.py",
+        """\
+        import os
+        # repro: ok(ENV001, fixture: annotated on the line above)
+        value = os.environ.get("X")
+        """,
+    )
+    assert analyze([target], root=tmp_path).findings == []
+
+
+def test_pragma_is_rule_specific(tmp_path):
+    target = write(
+        tmp_path, "mod.py",
+        """\
+        import os
+        value = os.environ.get("X")  # repro: ok(EXC001, fixture: wrong rule id)
+        """,
+    )
+    result = analyze([target], root=tmp_path)
+    assert [f.rule for f in result.findings] == ["ENV001"]
+
+
+def test_pragma_without_reason_suppresses_nothing(tmp_path):
+    target = write(
+        tmp_path, "mod.py",
+        """\
+        import os
+        value = os.environ.get("X")  # repro: ok(ENV001,)
+        """,
+    )
+    result = analyze([target], root=tmp_path)
+    assert sorted(f.rule for f in result.findings) == ["ENV001", "PRAGMA001"]
+
+
+# --------------------------------------------------------------------- #
+# baseline round trip
+# --------------------------------------------------------------------- #
+
+def test_baseline_round_trip(tmp_path):
+    target = write(tmp_path, "mod.py", BAD_ENV_READ)
+    first = analyze([target], root=tmp_path)
+    assert len(first.findings) == 1
+
+    baseline_file = tmp_path / "baseline.txt"
+    baseline_file.write_text(format_baseline(first.findings), encoding="utf-8")
+
+    second = analyze(
+        [target], root=tmp_path, baseline=load_baseline(baseline_file)
+    )
+    assert second.findings == []
+    assert second.suppressed_baseline == 1
+    assert second.exit_code == 0
+    assert "1 baselined" in second.summary()
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    target = write(tmp_path, "mod.py", BAD_ENV_READ)
+    baseline = set(
+        f.baseline_key() for f in analyze([target], root=tmp_path).findings
+    )
+    # Shift the offending line down: the (rule, path, message) key still
+    # matches even though the line number changed.
+    write(tmp_path, "mod.py", "# a new leading comment\n" + BAD_ENV_READ)
+    result = analyze([target], root=tmp_path, baseline=baseline)
+    assert result.findings == []
+    assert result.suppressed_baseline == 1
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path):
+    target = write(tmp_path, "mod.py", BAD_ENV_READ)
+    baseline = set(
+        f.baseline_key() for f in analyze([target], root=tmp_path).findings
+    )
+    write(tmp_path, "mod.py", BAD_ENV_READ + 'other = os.getenv("Y")\n')
+    result = analyze([target], root=tmp_path, baseline=baseline)
+    assert [f.rule for f in result.findings] == ["ENV001"]
+    assert "os.getenv" in result.findings[0].message
+    assert result.exit_code == 1
+
+
+# --------------------------------------------------------------------- #
+# collection, formatting, degraded parsing
+# --------------------------------------------------------------------- #
+
+def test_collect_files_dedups_and_skips_caches(tmp_path):
+    keep = write(tmp_path, "pkg/mod.py", "x = 1\n")
+    write(tmp_path, "pkg/__pycache__/mod.cpython-311.py", "x = 1\n")
+    write(tmp_path, "pkg/notes.txt", "not python\n")
+    files = collect_files([tmp_path, keep])  # dir + explicit file: one entry
+    assert files == [keep.resolve()]
+
+
+def test_finding_format_is_path_line_rule_message():
+    finding = Finding(rule="ENV001", path="src/mod.py", line=7, message="msg")
+    assert finding.format() == "src/mod.py:7: ENV001 msg"
+    assert finding.baseline_key() == "ENV001\tsrc/mod.py\tmsg"
+
+
+def test_findings_are_sorted_and_paths_are_root_relative(tmp_path):
+    write(tmp_path, "b.py", BAD_ENV_READ)
+    write(tmp_path, "a.py", BAD_ENV_READ)
+    result = analyze([tmp_path], root=tmp_path)
+    assert [f.path for f in result.findings] == ["a.py", "b.py"]
+
+
+def test_syntax_error_files_do_not_crash_the_run(tmp_path):
+    write(tmp_path, "broken.py", "def oops(:\n")
+    target = write(tmp_path, "mod.py", BAD_ENV_READ)
+    result = analyze([tmp_path], root=tmp_path)
+    assert result.files_scanned == 2
+    assert [f.path for f in result.findings] == [target.name]

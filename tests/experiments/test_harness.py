@@ -21,7 +21,7 @@ from repro.experiments import (
     run_table5_7,
     run_table8,
 )
-from repro.experiments.harness import _digest
+from repro.experiments.harness import _digest, artifacts_dir, resolve_artifacts_root
 
 
 def tiny_profile(tmp_path=None) -> ExperimentProfile:
@@ -64,6 +64,43 @@ def test_get_profile_unknown_env_var_is_a_clean_valueerror(monkeypatch):
         get_profile()
     # An explicit argument still wins over a bogus environment value.
     assert get_profile("quick").name == "quick"
+
+
+def test_artifacts_root_explicit_argument_wins(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "env"))
+    assert resolve_artifacts_root(tmp_path / "explicit") == tmp_path / "explicit"
+
+
+def test_artifacts_root_env_then_repo_default(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "env"))
+    assert resolve_artifacts_root() == tmp_path / "env"
+    monkeypatch.delenv("REPRO_ARTIFACTS")
+    default = resolve_artifacts_root()
+    assert default.is_absolute()
+    assert default.name == "artifacts"
+
+
+@pytest.mark.parametrize("bad", ["relative/dir", "./here", ""])
+def test_artifacts_root_rejects_relative_env_paths(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_ARTIFACTS", bad)
+    if not bad:
+        # Empty means unset: fall through to the repo default.
+        assert resolve_artifacts_root().is_absolute()
+        return
+    with pytest.raises(ValueError, match=r"REPRO_ARTIFACTS.*absolute"):
+        resolve_artifacts_root()
+
+
+def test_artifacts_root_rejects_relative_explicit_argument():
+    with pytest.raises(ValueError, match=r"artifacts root.*absolute"):
+        resolve_artifacts_root("relative/dir")
+
+
+def test_artifacts_dir_creates_the_directory(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "made" / "deep"))
+    created = artifacts_dir()
+    assert created == tmp_path / "made" / "deep"
+    assert created.is_dir()
 
 
 def test_digest_is_stable_and_sensitive():
