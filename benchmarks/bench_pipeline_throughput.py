@@ -57,12 +57,13 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 
 import numpy as np
 
 from repro.core import create_model
 from repro.litho import LithoSimulator, aerial_image, aerial_image_loop
-from repro.pipeline import InferencePipeline, ModelExecutor, WorkerPoolExecutor
+from repro.pipeline import ExecutionConfig, InferencePipeline, ModelExecutor, WorkerPoolExecutor
 from repro.utils import format_table
 
 from conftest import record_report
@@ -141,7 +142,9 @@ def _interleaved_best(runs: dict, rounds: int = 5) -> dict:
     return {key: max(value, 1e-9) for key, value in best.items()}
 
 
-def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference):
+def test_pipeline_throughput(benchmark, harness, execution_config):
+    num_workers = execution_config.num_workers
+    compile_inference = execution_config.compile
     profile = harness.profile
     size = profile.low_res_size
     rng = np.random.default_rng(7)
@@ -170,12 +173,25 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     model = create_model("doinn", image_size=size)
     # The serial baselines are pinned to num_workers=0 so they stay serial
     # even under a fleet-wide REPRO_NUM_WORKERS override.
-    serial = harness.model_pipeline(model, num_workers=0)
-    fused_serial = harness.model_pipeline(model, num_workers=0, compile=True)
+    serial = harness.model_pipeline(model, config=ExecutionConfig(num_workers=0))
+    fused_serial = harness.model_pipeline(
+        model, config=ExecutionConfig(num_workers=0, compile=True)
+    )
     serial.predict(masks)        # warm-up (weights, FFT plans, window views)
     fused_serial.predict(masks)  # warm-up (BN folds, pad-once buffer cache)
 
+    # Config-vs-kwarg parity (the satellite pinning the refactor): routing
+    # the same knobs through ExecutionConfig must leave the measured outputs
+    # bit-identical to the deprecated per-knob keyword path.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        kwarg_serial = harness.model_pipeline(model, num_workers=0)
+    kwarg_outputs = kwarg_serial.predict(masks, batch_size=profile.batch_size)
+
     reference_outputs = serial.predict(masks, batch_size=profile.batch_size)
+    assert np.array_equal(kwarg_outputs, reference_outputs), (
+        "ExecutionConfig-routed pipeline diverged from the legacy kwarg path"
+    )
     fused_outputs = fused_serial.predict(masks, batch_size=profile.batch_size)
     fused_max_err = float(np.abs(fused_outputs - reference_outputs).max())
     assert fused_max_err <= _FUSED_EQUIVALENCE_ATOL, (
@@ -210,7 +226,8 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
             (fused_serial if compile_inference else serial)
             if workers <= 1
             else harness.model_pipeline(
-                model, num_workers=workers, compile=compile_inference, streaming=True
+                model,
+                config=execution_config.merged(num_workers=workers, streaming=True),
             )
         )
         if workers > 1:
@@ -237,8 +254,10 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     # way the DOINN rows above isolate the conv/BN/act fusion.
     # ------------------------------------------------------------------ #
     unet = create_model("unet", image_size=size)
-    unet_serial = harness.model_pipeline(unet, num_workers=0)
-    unet_fused = harness.model_pipeline(unet, num_workers=0, compile=True)
+    unet_serial = harness.model_pipeline(unet, config=ExecutionConfig(num_workers=0))
+    unet_fused = harness.model_pipeline(
+        unet, config=ExecutionConfig(num_workers=0, compile=True)
+    )
     unet_serial.predict(masks)  # warm-up
     unet_fused.predict(masks)   # warm-up (BN folds, scatter/pad buffer cache)
     unet_reference = unet_serial.predict(masks, batch_size=profile.batch_size)
@@ -260,7 +279,9 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     # Compute-backend lanes (PR 8): serial compiled DOINN, one row per lane
     # ------------------------------------------------------------------ #
     backend_pipes = {
-        lane: harness.model_pipeline(model, num_workers=0, compile=True, backend=lane)
+        lane: harness.model_pipeline(
+            model, config=ExecutionConfig(num_workers=0, compile=True, backend=lane)
+        )
         for lane in _BACKEND_LANES
     }
     backend_max_err = {}
@@ -298,10 +319,10 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     # Both transports are pinned explicitly so a fleet-wide REPRO_STREAMING
     # override cannot turn the A/B comparison into ring-vs-ring (or fail it).
     ring_pipe = harness.model_pipeline(
-        model, num_workers=stream_workers, compile=compile_inference, streaming=True
+        model, config=execution_config.merged(num_workers=stream_workers, streaming=True)
     )
     percall_pipe = harness.model_pipeline(
-        model, num_workers=stream_workers, compile=compile_inference, streaming=False
+        model, config=execution_config.merged(num_workers=stream_workers, streaming=False)
     )
     assert ring_pipe.streaming and not percall_pipe.streaming
     for pipe, transport in ((ring_pipe, "ring"), (percall_pipe, "per-call")):
@@ -337,7 +358,7 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
     # must be nearly free.  supervised=False retains the pre-supervision
     # blind pool.map dispatch as the baseline.
     supervised_pipe = harness.model_pipeline(
-        model, num_workers=stream_workers, compile=compile_inference, streaming=True
+        model, config=execution_config.merged(num_workers=stream_workers, streaming=True)
     )
     blind_pipe = InferencePipeline(
         WorkerPoolExecutor(
@@ -346,7 +367,7 @@ def test_pipeline_throughput(benchmark, harness, num_workers, compile_inference)
             streaming=True,
             supervised=False,
         ),
-        batch_size=profile.batch_size,
+        config=ExecutionConfig(batch_size=profile.batch_size),
     )
     for pipe, dispatch in ((supervised_pipe, "supervised"), (blind_pipe, "blind")):
         outputs = pipe.predict(stream_masks, batch_size=stream_masks.shape[0])

@@ -37,7 +37,7 @@ from repro.core import DOINN, DOINNConfig
 from repro.data import BenchmarkConfig, build_benchmark, build_large_tile_benchmark
 from repro.evaluation import evaluate_predictions
 from repro.litho import LithoSimulator
-from repro.pipeline import InferencePipeline, RetryPolicy
+from repro.pipeline import ExecutionConfig, InferencePipeline, RetryPolicy
 from repro.training import Trainer, TrainingConfig
 from repro.utils import format_table, seed_everything
 
@@ -105,8 +105,9 @@ def main() -> None:
     print("Building dense large tiles (4x the training area) ...")
     large = build_large_tile_benchmark(config, simulator, num_tiles=3, scale=2)
 
-    pipeline = InferencePipeline(
-        model,
+    # All CLI flags fold into one execution document; unset flags stay None
+    # so the REPRO_* environment knobs (then the defaults) still apply.
+    execution = ExecutionConfig(
         tile_size=config.image_size,
         batch_size=8,
         optical_diameter_pixels=simulator.optical_diameter_pixels,
@@ -116,6 +117,7 @@ def main() -> None:
         shard_tiles=False if args.no_shard_tiles else None,
         retry=retry,
     )
+    pipeline = InferencePipeline(model, config=execution)
     if args.compile:
         executor = getattr(pipeline.executor, "inner", pipeline.executor)
         print(f"Compiled inference: {pipeline.name} ({executor.model.num_fused_ops} fused ops)")

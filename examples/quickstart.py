@@ -18,7 +18,7 @@ from repro.core import DOINN, DOINNConfig
 from repro.data import BenchmarkConfig, build_benchmark
 from repro.evaluation import evaluate_model
 from repro.litho import LithoSimulator
-from repro.pipeline import InferencePipeline
+from repro.pipeline import ExecutionConfig, InferencePipeline
 from repro.training import Trainer, TrainingConfig
 from repro.utils import seed_everything, to_ascii
 
@@ -47,7 +47,7 @@ def main() -> None:
 
     # 4. Evaluate and visualize through the batch-first inference pipeline
     #    (the execution path production serving uses).
-    pipeline = InferencePipeline(model, batch_size=8)
+    pipeline = InferencePipeline(model, config=ExecutionConfig(batch_size=8))
     score = evaluate_model(pipeline, data.test)
     mpa, miou = score.as_row()
     print(f"Held-out accuracy: mPA = {mpa:.2f}%  mIOU = {miou:.2f}%")

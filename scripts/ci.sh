@@ -59,7 +59,18 @@ python -m pytest -x -q -p no:cacheprovider tests \
     --ignore=tests/nn/test_fusion.py --ignore=tests/pipeline/test_compiled_pipeline.py \
     --ignore=tests/pipeline/test_parallel.py --ignore=tests/pipeline/test_streaming.py \
     --ignore=tests/pipeline/test_cache.py --ignore=tests/opc/test_incremental.py \
-    --ignore=tests/pipeline/test_supervision.py --ignore=tests/pipeline/test_backends.py "$@"
+    --ignore=tests/pipeline/test_supervision.py --ignore=tests/pipeline/test_backends.py \
+    --ignore=tests/pipeline/test_config.py "$@"
+
+# The execution-config contract (docs/architecture.md): one resolved
+# ExecutionConfig document with explicit > REPRO_* > default precedence and
+# per-field provenance, JSON-round-tripping ExecutionPlans that match the
+# executed stats, deprecation warnings on every legacy kwarg shim, and the
+# config route bit-identical to the kwarg route across the zoo.
+echo "== execution-config suite (config == kwargs, plans == stats, shims warn) =="
+python -m pytest -x -q -p no:cacheprovider \
+    -W "error::DeprecationWarning" \
+    tests/pipeline/test_config.py "$@"
 
 # -W error::FusionFallbackWarning: a fallback silently re-appearing anywhere
 # in the zoo (e.g. a transposed-conv declaration rotting back to unfused)

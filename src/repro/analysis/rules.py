@@ -5,6 +5,7 @@ Each rule codifies an invariant a previous PR established by convention:
 =========  ==============================================================
 ENV001     all environment reads go through the knob registry
 ENV002     knob registry and ``docs/configuration.md`` stay in exact sync
+CONFIG001  execution knobs stay inside ``ExecutionConfig`` on public surfaces
 SHM001     shared-memory creation/attachment stays registry-managed
 DTYPE001   dtype narrowing stays confined to the backend module
 ALLOC001   fused hot-path modules allocate only through the scratch cache
@@ -39,6 +40,7 @@ from .framework import (
 __all__ = [
     "AllocDisciplineRule",
     "BroadExceptRule",
+    "ConfigSurfaceRule",
     "DocSyncRule",
     "DtypeBoundaryRule",
     "EnvAccessRule",
@@ -156,6 +158,79 @@ class DocSyncRule(Rule):
                     "(run scripts/gen_config_docs.py)"
                 ),
             )
+
+
+@register_rule
+class ConfigSurfaceRule(Rule):
+    id = "CONFIG001"
+    title = "execution knobs stay inside ExecutionConfig on public surfaces"
+    description = (
+        "The knob sprawl this repo unwound: every execution knob (workers, "
+        "streaming, backends, caching, supervision, ...) reaches the public "
+        "pipeline/harness/driver surfaces as one ExecutionConfig document, "
+        "not as yet another keyword re-declared per signature.  A new knob "
+        "parameter on these surfaces forks defaults and precedence again; "
+        "add a field to ExecutionConfig instead (deliberate legacy shims "
+        "carry a pragma)."
+    )
+
+    #: Parameter names that are execution knobs — declaring any of these on
+    #: a public signature in the target surfaces is the violation.
+    #: (``tile_size`` / ``batch_size`` / ``optical_diameter_pixels`` stay
+    #: legal: they double as per-call geometry arguments.)
+    KNOB_PARAMS = frozenset({
+        "num_workers", "chunk_size", "streaming", "shard_tiles",
+        "result_cache", "retry", "backend", "blas_threads", "compile",
+        "incremental",
+    })
+    #: The config-in surfaces: the pipeline entry point, the harness
+    #: factories, the experiment drivers and the throughput measurement
+    #: API — plus everything under benchmarks/ and examples/, which model
+    #: how downstream callers hold the API.  The mechanism layers
+    #: (parallel.py, streaming.py, backends.py, supervision.py, config.py
+    #: itself) keep their per-knob signatures: they implement one knob each.
+    TARGET_FILES = (
+        "repro/pipeline/engine.py",
+        "repro/experiments/harness.py",
+        "repro/experiments/figure6_runtime.py",
+        "repro/experiments/table4_large_tile.py",
+        "repro/evaluation/runtime.py",
+        "repro/opc/engine.py",
+    )
+    TARGET_DIRS = frozenset({"benchmarks", "examples"})
+
+    def _is_target(self, ctx: FileContext) -> bool:
+        if ctx.matches_suffix(self.TARGET_FILES):
+            return True
+        return any(part in self.TARGET_DIRS for part in ctx.path.parts)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or not self._is_target(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            name = node.name
+            if name.startswith("test_"):
+                continue  # pytest parameters are fixtures, not API knobs
+            if name.startswith("_") and name != "__init__":
+                continue  # private helpers may thread knobs internally
+            if ctx.enclosing_function(node) is not None:
+                continue  # closures are implementation detail, not API
+            args = node.args
+            declared = {
+                arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            }
+            bad = sorted(declared & self.KNOB_PARAMS)
+            if bad:
+                yield ctx.finding(
+                    self.id, node,
+                    f"public signature `{name}` re-declares execution "
+                    f"knob(s) {', '.join(bad)}; accept "
+                    "`config=ExecutionConfig(...)` instead (a deliberate "
+                    "legacy shim needs a `repro: ok(CONFIG001, reason)` "
+                    "pragma)",
+                )
 
 
 @register_rule

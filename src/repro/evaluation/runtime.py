@@ -16,11 +16,12 @@ magnitude" headline scales in practice.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..pipeline import InferencePipeline, RetryPolicy
+from ..pipeline import ExecutionConfig, InferencePipeline
 
 __all__ = [
     "ThroughputResult",
@@ -126,6 +127,25 @@ def measure_pipeline_throughput(
     )
 
 
+def _measurement_config(
+    config: ExecutionConfig | None, batch_size: int, legacy: dict, caller: str
+) -> ExecutionConfig:
+    """One-shot pipeline config for a throughput measurement.
+
+    ``legacy`` is the deprecated per-knob kwarg bundle — any use warns, and
+    names outside :class:`ExecutionConfig`'s fields raise.
+    """
+    if legacy:
+        warnings.warn(
+            f"{caller}({', '.join(sorted(legacy))}=...) keyword knobs are "
+            "deprecated; pass config=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    base = config if config is not None else ExecutionConfig()
+    return base.merged(batch_size=batch_size, **legacy)
+
+
 def measure_model_throughput(
     model,
     mask: np.ndarray,
@@ -134,27 +154,21 @@ def measure_model_throughput(
     repeats: int = 3,
     warmup: int = 1,
     batch_size: int = 1,
-    num_workers: int | None = None,
-    streaming: bool | None = None,
-    retry: RetryPolicy | None = None,
-    compile: bool = False,
-    backend=None,
-    blas_threads: int | None = None,
+    config: ExecutionConfig | None = None,
+    **legacy,
 ) -> ThroughputResult:
     """Measure inference throughput of a learned model on one mask tile.
 
     ``batch_size`` controls how many tiles are executed per forward: 1 is the
     seed per-tile configuration; larger values report batched throughput
-    (Figure 6's deployment scenario).  ``num_workers`` shards those batches
-    across a worker pool, ``streaming`` selects the persistent shared-memory
-    ring vs the per-call transport, and ``retry`` sets the pool's supervision
-    policy (all ignored when an already-built pipeline is passed).
-    ``compile`` runs the model as a fused inference graph and ``backend`` /
-    ``blas_threads`` pick its compute lane and BLAS thread cap
-    (:mod:`repro.nn.backends`) — how Figure 6 rows are measured per backend.
-    A repeated-measurement loop is exactly the workload the streaming ring
-    accelerates: every ``run_once`` after the first reuses the mapped
-    segments.
+    (Figure 6's deployment scenario).  Every other execution knob — workers,
+    streaming, supervision, compilation, backend lane, BLAS threads — arrives
+    as one :class:`~repro.pipeline.ExecutionConfig` (``config=``), which is
+    how Figure 6 rows are measured per backend; the old per-knob keywords
+    still work through ``**legacy`` but are deprecated.  All of it is ignored
+    when an already-built pipeline is passed.  A repeated-measurement loop is
+    exactly the workload the streaming ring accelerates: every ``run_once``
+    after the first reuses the mapped segments.
     """
     if isinstance(model, InferencePipeline):
         return measure_pipeline_throughput(
@@ -169,10 +183,8 @@ def measure_model_throughput(
     # The pipeline is built for this measurement only: release its worker
     # pool and ring segments on the way out instead of stranding them until
     # interpreter exit.
-    with InferencePipeline(
-        model, batch_size=batch_size, num_workers=num_workers, streaming=streaming,
-        retry=retry, compile=compile, backend=backend, blas_threads=blas_threads,
-    ) as pipeline:
+    cfg = _measurement_config(config, batch_size, legacy, "measure_model_throughput")
+    with InferencePipeline(model, config=cfg) as pipeline:
         return measure_pipeline_throughput(
             pipeline,
             mask,
@@ -191,15 +203,12 @@ def measure_simulator_throughput(
     repeats: int = 3,
     warmup: int = 1,
     batch_size: int = 1,
-    num_workers: int | None = None,
-    streaming: bool | None = None,
-    retry: RetryPolicy | None = None,
+    config: ExecutionConfig | None = None,
+    **legacy,
 ) -> ThroughputResult:
     """Measure throughput of the golden lithography simulator on one mask tile."""
-    with InferencePipeline(
-        simulator, batch_size=batch_size, num_workers=num_workers, streaming=streaming,
-        retry=retry,
-    ) as pipeline:
+    cfg = _measurement_config(config, batch_size, legacy, "measure_simulator_throughput")
+    with InferencePipeline(simulator, config=cfg) as pipeline:
         return measure_pipeline_throughput(
             pipeline,
             mask,

@@ -14,11 +14,13 @@ is the deployment scenario the paper's throughput claim describes.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.registry import create_model
 from ..evaluation.runtime import measure_model_throughput
-from ..pipeline import RetryPolicy
+from ..pipeline import ExecutionConfig
 from ..utils.tables import format_table
 from .harness import Harness
 
@@ -80,22 +82,31 @@ def run_figure6(
     benchmark: str = "ispd2019",
     repeats: int = 3,
     batch_size: int | None = None,
-    num_workers: int | None = None,
-    streaming: bool | None = None,
-    retry: "RetryPolicy | None" = None,
+    config: ExecutionConfig | None = None,
+    **legacy,
 ) -> list[dict]:
     """Measure throughput of every engine on one benchmark tile.
 
     ``batch_size`` sets the batched-execution measurement (defaults to the
     profile's batch size); the per-tile ``batch_size=1`` measurement is always
-    reported alongside for continuity with the seed numbers.  ``num_workers``
+    reported alongside for continuity with the seed numbers.  ``config``
+    carries the execution knobs into every measured pipeline: ``num_workers``
     shards the batched measurement across a worker pool, which is how the
     "orders of magnitude" headline scales on a multi-core host; ``streaming``
     selects the persistent shared-memory ring (default) vs the per-call
     transport for that pool — the repeated measurement loop is exactly the
-    streaming workload the ring accelerates.  ``retry`` sets the pool's
-    supervision policy (deadline / retries / degradation).
+    streaming workload the ring accelerates; ``retry`` sets the pool's
+    supervision policy (deadline / retries / degradation).  Per-knob keyword
+    arguments are deprecated.
     """
+    if legacy:
+        warnings.warn(
+            f"run_figure6({', '.join(sorted(legacy))}=...) keyword knobs are "
+            "deprecated; pass config=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    pipeline_config = (config if config is not None else ExecutionConfig()).merged(**legacy)
     harness = harness or Harness()
     data = harness.benchmark(benchmark, "L")
     mask = data.test.masks[0, 0]
@@ -106,9 +117,7 @@ def run_figure6(
     results: list[dict] = []
     for name, label in (("unet", "UNet"), ("damo-dls", "DAMO"), ("doinn", "Ours")):
         model = create_model(name, image_size=image_size)
-        pipeline = harness.model_pipeline(
-            model, num_workers=num_workers, streaming=streaming, retry=retry
-        )
+        pipeline = harness.model_pipeline(model, config=pipeline_config)
         single = measure_model_throughput(
             pipeline, mask, pixel_size, name=label, repeats=repeats, batch_size=1
         )

@@ -9,13 +9,14 @@ degrades) and once with the half-overlapping large-tile scheme of §3.2
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from ..data.benchmarks import build_large_tile_benchmark
 from ..evaluation.evaluator import evaluate_predictions
-from ..pipeline import RetryPolicy
+from ..pipeline import ExecutionConfig
 from ..utils.tables import format_table
 from .harness import Harness, artifacts_dir
 
@@ -26,14 +27,12 @@ def run_table4(
     harness: Harness | None = None,
     benchmark: str = "ispd2019",
     save_figure9: bool = True,
-    num_workers: int | None = None,
-    streaming: bool | None = None,
-    shard_tiles: bool | None = None,
-    result_cache: bool | int | None = None,
-    retry: "RetryPolicy | None" = None,
+    config: ExecutionConfig | None = None,
+    **legacy,
 ) -> dict:
     """Evaluate naive DOINN vs. the large-tile scheme on scaled-up tiles.
 
+    ``config`` carries the execution knobs into the shared pipeline:
     ``num_workers`` shards the tile batches of both rows across a worker
     pool; ``streaming`` keeps the pool's shared-memory segments alive across
     the two rows and ``shard_tiles`` (default: on when pooled) lets the
@@ -43,15 +42,24 @@ def run_table4(
     supervision policy (chunk deadline / retries / degradation) — long
     large-tile sweeps survive dying workers instead of losing the whole run.
     The predictions are bit-identical to the serial path in every mode.
+    Per-knob keyword arguments are deprecated.
     """
+    if legacy:
+        warnings.warn(
+            f"run_table4({', '.join(sorted(legacy))}=...) keyword knobs are "
+            "deprecated; pass config=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    pipeline_config = (config if config is not None else ExecutionConfig()).merged(**legacy)
     harness = harness or Harness()
     profile = harness.profile
 
     model, _ = harness.trained_model("doinn", benchmark, "L")
-    config = harness.benchmark_config(benchmark, "L")
-    simulator = harness.simulator(config.pixel_size)
+    bench_config = harness.benchmark_config(benchmark, "L")
+    simulator = harness.simulator(bench_config.pixel_size)
     large = build_large_tile_benchmark(
-        config,
+        bench_config,
         simulator,
         num_tiles=profile.large_tile_count,
         scale=profile.large_tile_scale,
@@ -62,13 +70,10 @@ def run_table4(
     # tile forwards batched across the whole large-tile set.
     pipeline = harness.model_pipeline(
         model,
-        tile_size=config.image_size,
-        optical_diameter_pixels=simulator.optical_diameter_pixels,
-        num_workers=num_workers,
-        streaming=streaming,
-        shard_tiles=shard_tiles,
-        result_cache=result_cache,
-        retry=retry,
+        config=pipeline_config.merged(
+            tile_size=bench_config.image_size,
+            optical_diameter_pixels=simulator.optical_diameter_pixels,
+        ),
     )
     naive_predictions = pipeline.predict_naive(large.masks)
     lt_predictions = pipeline.predict(large.masks, stitch=True)

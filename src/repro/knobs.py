@@ -145,6 +145,10 @@ class Knob:
     default: str     # human-readable default, rendered into the docs table
     doc: str         # markdown "Meaning" cell for docs/configuration.md
     section: str     # docs section key (see SECTIONS)
+    #: Matching :class:`repro.pipeline.ExecutionConfig` field ("retry.x" for
+    #: the RetryPolicy sub-fields); empty for knobs outside the execution
+    #: document (harness profile, artifacts root, fault plans).
+    field: str = ""
 
 
 #: Documentation sections, in the order they appear in docs/configuration.md.
@@ -248,6 +252,7 @@ register_knob(Knob(
         "Values `<= 1` run in-process. Explicit `num_workers=` wins."
     ),
     section="execution",
+    field="num_workers",
 ))
 register_knob(Knob(
     name="REPRO_STREAMING",
@@ -261,6 +266,7 @@ register_knob(Knob(
         "baseline). Bit-identical either way."
     ),
     section="execution",
+    field="streaming",
 ))
 register_knob(Knob(
     name="REPRO_RESULT_CACHE",
@@ -273,6 +279,7 @@ register_knob(Knob(
         "budget in bytes."
     ),
     section="execution",
+    field="result_cache",
 ))
 register_knob(Knob(
     name="REPRO_INCREMENTAL_OPC",
@@ -284,6 +291,7 @@ register_knob(Knob(
         "restores the full re-simulation loop."
     ),
     section="execution",
+    field="incremental",
 ))
 register_knob(Knob(
     name="REPRO_BACKEND",
@@ -300,6 +308,7 @@ register_knob(Knob(
         "large-kernel transposed convolution (float64, partition-invariant)."
     ),
     section="backends",
+    field="backend",
 ))
 register_knob(Knob(
     name="REPRO_BLAS_THREADS",
@@ -315,6 +324,7 @@ register_knob(Knob(
         "the experiment drivers."
     ),
     section="backends",
+    field="blas_threads",
 ))
 register_knob(Knob(
     name="REPRO_WORKER_TIMEOUT",
@@ -327,6 +337,7 @@ register_knob(Knob(
         "explicit `timeout=0` disables an environment-set one."
     ),
     section="supervision",
+    field="retry.timeout",
 ))
 register_knob(Knob(
     name="REPRO_WORKER_RETRIES",
@@ -338,6 +349,7 @@ register_knob(Knob(
         "`0` fails/degrades on the first error."
     ),
     section="supervision",
+    field="retry.max_retries",
 ))
 register_knob(Knob(
     name="REPRO_DEGRADE",
@@ -352,6 +364,7 @@ register_knob(Knob(
         "bounds, attempt counts, every remote traceback)."
     ),
     section="supervision",
+    field="retry.degrade",
 ))
 register_knob(Knob(
     name="REPRO_FAULT_PLAN",
@@ -399,6 +412,7 @@ register_knob(Knob(
         "the `--compile` pytest flag wins over the variable."
     ),
     section="harness",
+    field="compile",
 ))
 
 
@@ -406,7 +420,9 @@ register_knob(Knob(
 # Documentation rendering (the ENV002 sync contract)
 # --------------------------------------------------------------------------
 
-_TABLE_HEADER = "| Variable | Default | Meaning |\n|---|---|---|"
+_TABLE_HEADER = (
+    "| Variable | Default | `ExecutionConfig` field | Meaning |\n|---|---|---|---|"
+)
 
 
 def markdown_table(section: str) -> str:
@@ -414,7 +430,8 @@ def markdown_table(section: str) -> str:
     rows = [_TABLE_HEADER]
     for knob in _REGISTRY.values():
         if knob.section == section:
-            rows.append(f"| `{knob.name}` | {knob.default} | {knob.doc} |")
+            field = f"`{knob.field}`" if knob.field else "—"
+            rows.append(f"| `{knob.name}` | {knob.default} | {field} | {knob.doc} |")
     return "\n".join(rows)
 
 

@@ -33,7 +33,7 @@ from .. import knobs
 from ..layout.geometry import Layout
 from ..layout.rasterize import rasterize
 from ..litho.simulator import LithoSimulator
-from ..pipeline import IncrementalCounters, InferencePipeline, RetryPolicy
+from ..pipeline import ExecutionConfig, IncrementalCounters, InferencePipeline, RetryPolicy
 from .epe import EPEStatistics, measure_layout_epe
 from .fragments import FragmentedShape, FragmentTileIndex, build_mask, fragment_layout
 from .sraf import insert_srafs, sraf_rects_pixels
@@ -52,6 +52,7 @@ __all__ = [
 INCREMENTAL_ENV = "REPRO_INCREMENTAL_OPC"
 
 
+# repro: ok(CONFIG001, retained single-knob resolver with a pinned public contract; ExecutionConfig.resolve() is the config-document route)
 def resolve_incremental(incremental: bool | None = None) -> bool:
     """Resolve the incremental knob: argument > ``REPRO_INCREMENTAL_OPC`` > on.
 
@@ -78,6 +79,13 @@ class OPCConfig:
     use_srafs: bool = True
     epe_search_range: int = 24        # pixels
     record_history: bool = True
+    #: Execution document for the simulation pipeline
+    #: (:class:`repro.pipeline.ExecutionConfig`): workers, streaming, BLAS
+    #: threads, result cache, supervision, incremental re-simulation — one
+    #: config instead of six mirrored fields.  The per-knob fields below are
+    #: a deprecated shim layered on top of it (an explicitly-set per-knob
+    #: field overrides the embedded config); see :meth:`execution_config`.
+    execution: "ExecutionConfig | None" = None
     num_workers: int | None = None    # worker pool for the simulation pipeline
     #: BLAS thread cap for the simulation pipeline (see
     #: :func:`repro.nn.backends.resolve_blas_threads`): ``None`` defers to
@@ -120,6 +128,24 @@ class OPCConfig:
     #: |EPE| tolerance (in pixels) a fragment must hold to count as stable
     #: for ``freeze_after``.
     freeze_tolerance: float = 1.0
+
+    def execution_config(self) -> ExecutionConfig:
+        """Execution document for the simulation pipeline.
+
+        Starts from :attr:`execution` (or an empty config) and overlays the
+        legacy per-knob mirror fields — any that were explicitly set win, so
+        old-style ``OPCConfig(num_workers=4)`` call sites keep working while
+        new code sets ``execution=ExecutionConfig(...)`` directly.
+        """
+        base = self.execution if self.execution is not None else ExecutionConfig()
+        return base.merged(
+            num_workers=self.num_workers,
+            blas_threads=self.blas_threads,
+            streaming=self.streaming,
+            incremental=self.incremental,
+            result_cache=self.result_cache,
+            retry=self.retry,
+        )
 
 
 class MaskHistory:
@@ -237,14 +263,7 @@ class OPCEngine:
     def __init__(self, simulator: LithoSimulator, config: OPCConfig | None = None) -> None:
         self.simulator = simulator
         self.config = config or OPCConfig()
-        self.pipeline = InferencePipeline(
-            simulator,
-            num_workers=self.config.num_workers,
-            streaming=self.config.streaming,
-            result_cache=self.config.result_cache,
-            retry=self.config.retry,
-            blas_threads=self.config.blas_threads,
-        )
+        self.pipeline = InferencePipeline(simulator, config=self.config.execution_config())
 
     def close(self) -> None:
         """Release the simulation pipeline's worker pool (no-op when serial)."""
@@ -277,7 +296,7 @@ class OPCEngine:
 
         state = None
         index = None
-        if resolve_incremental(config.incremental):
+        if self.pipeline.config.incremental:
             state = self.pipeline.incremental_state((image_size, image_size))
             if state.n_tiles > 1:
                 index = FragmentTileIndex(shapes, state.specs, image_size, config.max_offset)

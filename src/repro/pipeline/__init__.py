@@ -3,8 +3,19 @@
 The single high-throughput engine every inference consumer routes through;
 see :mod:`repro.pipeline.engine` for the architecture overview.
 
-Throughput knobs (all threaded through :class:`InferencePipeline` and every
-driver that builds one — evaluation, OPC, experiment harnesses, benchmarks):
+Every knob below lives on one document: :class:`ExecutionConfig`
+(:mod:`repro.pipeline.config`).  Consumers pass
+``InferencePipeline(engine, config=ExecutionConfig(...))``; the config
+resolves exactly once (explicit field > ``REPRO_*`` env > default, with
+per-field provenance and structured :class:`ConfigError`\\ s), and
+``pipeline.plan(masks)`` returns the serializable :class:`ExecutionPlan`
+that ``execute`` carries out — see ``docs/architecture.md`` for the
+config -> plan -> execute flow.  The per-knob keyword arguments still
+accepted by :class:`InferencePipeline` are a deprecated shim.
+
+Throughput knobs (all fields of :class:`ExecutionConfig`, honoured by every
+driver that builds a pipeline — evaluation, OPC, experiment harnesses,
+benchmarks):
 
 ``batch_size``
     Tiles / masks per executor invocation (executors micro-batch internally
@@ -72,6 +83,7 @@ from .cache import (
     ownership_slices,
     resolve_cache_budget,
 )
+from .config import ConfigError, ExecutionConfig, ExecutionPlan
 from .engine import InferencePipeline, PipelineResult, PipelineStats
 from .executors import Executor, ModelExecutor, SimulatorExecutor, as_executor
 from .faults import (
@@ -108,6 +120,9 @@ from .supervision import (
 )
 
 __all__ = [
+    "ConfigError",
+    "ExecutionConfig",
+    "ExecutionPlan",
     "InferencePipeline",
     "PipelineResult",
     "PipelineStats",

@@ -81,6 +81,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -92,8 +93,8 @@ from .cache import (
     MaskResultCache,
     choose_patch_tile,
     hash_array,
-    resolve_cache_budget,
 )
+from .config import ExecutionConfig, ExecutionPlan
 from .executors import Executor, as_executor
 from .parallel import ParallelConfig, RetryPolicy, WorkerPoolExecutor
 
@@ -149,6 +150,14 @@ class InferencePipeline:
         A learned model (:class:`repro.nn.Module`), a golden
         :class:`~repro.litho.simulator.LithoSimulator`, or a prebuilt
         :class:`~repro.pipeline.executors.Executor`.
+    config:
+        An :class:`~repro.pipeline.config.ExecutionConfig` owning every
+        execution knob below.  This is the supported way to configure a
+        pipeline; the per-knob keyword arguments are a deprecated
+        compatibility shim (they build a config internally and emit a
+        :class:`DeprecationWarning`).  The resolved config — explicit field
+        > ``REPRO_*`` environment knob > default, applied exactly once —
+        is available as ``pipeline.config``.
     tile_size:
         Native (training) tile size of the engine.  Masks larger than this
         trigger the §3.2 large-tile plan when the engine supports it; ``None``
@@ -225,16 +234,27 @@ class InferencePipeline:
         never oversubscribes by default.
     """
 
+    #: Legacy per-knob keyword arguments accepted (and deprecated) by
+    #: ``__init__``; each maps 1:1 onto an :class:`ExecutionConfig` field.
+    _LEGACY_KWARGS = (
+        "tile_size", "batch_size", "optical_diameter_pixels", "num_workers",
+        "chunk_size", "compile", "streaming", "shard_tiles", "result_cache",
+        "retry", "backend", "blas_threads",
+    )
+
+    # repro: ok(CONFIG001, deprecated legacy kwarg shim kept for one release; new code passes config=)
     def __init__(
         self,
         engine,
+        config: ExecutionConfig | None = None,
+        *,
         tile_size: int | None = None,
-        batch_size: int = 8,
-        optical_diameter_pixels: int = 16,
+        batch_size: int | None = None,
+        optical_diameter_pixels: int | None = None,
         num_workers: int | None = None,
         chunk_size: int | None = None,
         parallel: ParallelConfig | None = None,
-        compile: bool = False,
+        compile: bool | None = None,
         streaming: bool | None = None,
         shard_tiles: bool | None = None,
         result_cache: bool | int | None = None,
@@ -242,23 +262,40 @@ class InferencePipeline:
         backend: "str | ComputeBackend | None" = None,
         blas_threads: int | None = None,
     ) -> None:
-        if batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
+        given = locals()
+        legacy = {name: given[name] for name in self._LEGACY_KWARGS}
+        used = sorted(name for name, value in legacy.items() if value is not None)
         if parallel is not None:
-            num_workers = parallel.num_workers if num_workers is None else num_workers
-            chunk_size = parallel.chunk_size if chunk_size is None else chunk_size
-            streaming = parallel.streaming if streaming is None else streaming
-            retry = parallel.retry if retry is None else retry
-            blas_threads = parallel.blas_threads if blas_threads is None else blas_threads
-        parallel = ParallelConfig(
-            num_workers=num_workers, chunk_size=chunk_size, streaming=streaming,
-            retry=retry, blas_threads=blas_threads,
+            used.append("parallel")
+        if used:
+            warnings.warn(
+                f"InferencePipeline({', '.join(used)}=...) keyword knobs are "
+                "deprecated; pass config=ExecutionConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # Precedence preserved from the old hand-merged block: explicit
+            # kwargs > the prebuilt ParallelConfig's fields; a config= given
+            # alongside kwargs sits between the two.
+            base = (
+                ExecutionConfig.from_parallel(parallel)
+                if parallel is not None
+                else ExecutionConfig()
+            )
+            config = base.merged(config, **legacy)
+        elif config is None:
+            config = ExecutionConfig()
+        #: The resolved execution config of this pipeline (one resolution
+        #: pass: explicit field > ``REPRO_*`` knob > default).
+        self.config = config.resolve()
+        resolved = self.config
+        self.executor: Executor = as_executor(
+            engine, compile=bool(resolved.compile), backend=resolved.backend
         )
-        self.executor: Executor = as_executor(engine, compile=compile, backend=backend)
         self.compiled = getattr(self.executor, "compiled", False)
-        self.num_workers = parallel.resolved_workers()
+        self.num_workers = resolved.num_workers
         if self.num_workers > 1 and not isinstance(self.executor, WorkerPoolExecutor):
-            self.executor = WorkerPoolExecutor(self.executor, config=parallel)
+            self.executor = WorkerPoolExecutor(self.executor, config=resolved.parallel())
         elif isinstance(self.executor, WorkerPoolExecutor):
             self.num_workers = self.executor.num_workers
         self.streaming = (
@@ -268,9 +305,8 @@ class InferencePipeline:
         # through the pool initializer; the parent stays untouched there so a
         # capped pooled pipeline doesn't detune later serial work).  The
         # serial default is 0 = leave the library alone.
-        threads = parallel.resolved_blas_threads()
-        if threads and self.num_workers <= 1:
-            set_blas_threads(threads)
+        if resolved.blas_threads and self.num_workers <= 1:
+            set_blas_threads(resolved.blas_threads)
         #: Compute backend of the executor (None for simulator engines).
         self.backend = getattr(self.executor, "backend", None)
         # Fold the compute identity (engine + backend lane + output dtype)
@@ -290,19 +326,19 @@ class InferencePipeline:
         self._compute_identity = hashlib.blake2b(
             identity.encode(), digest_size=8
         ).digest()
-        self.shard_tiles = shard_tiles
-        self.tile_size = tile_size
-        self.batch_size = batch_size
-        self.optical_diameter_pixels = optical_diameter_pixels
-        budget = resolve_cache_budget(result_cache)
+        self.shard_tiles = resolved.shard_tiles
+        self.tile_size = resolved.tile_size
+        self.batch_size = resolved.batch_size
+        self.optical_diameter_pixels = resolved.optical_diameter_pixels
+        # resolved.result_cache is already the byte budget (0 = disabled).
         self.result_cache: MaskResultCache | None = (
-            MaskResultCache(budget) if budget else None
+            MaskResultCache(resolved.result_cache) if resolved.result_cache else None
         )
-        if tile_size is not None and self.executor.supports_stitching:
+        if self.tile_size is not None and self.executor.supports_stitching:
             pool = self.executor.pool_factor
-            if tile_size % pool:
+            if self.tile_size % pool:
                 raise ValueError(
-                    f"tile_size {tile_size} must be divisible by the GP pooling factor {pool}"
+                    f"tile_size {self.tile_size} must be divisible by the GP pooling factor {pool}"
                 )
 
     @property
@@ -324,6 +360,61 @@ class InferencePipeline:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        masks: np.ndarray,
+        batch_size: int | None = None,
+        stitch: bool | None = None,
+    ) -> ExecutionPlan:
+        """The :class:`~repro.pipeline.config.ExecutionPlan` for ``masks``.
+
+        Everything :meth:`run` is about to do, known up front: native vs
+        stitched mode, the tile grid and super-batch shape, pooled-vs-serial
+        dispatch, and the compute identity the result cache keys on.  The
+        plan is serializable (``to_dict``/``from_dict`` round-trip through
+        JSON) and :meth:`execute` carries it out — ``run()`` is exactly
+        ``execute(plan(masks), masks)``.
+        """
+        batch4, _ = self._normalize(masks)
+        return self._build_plan(batch4, batch_size or self.batch_size, stitch)
+
+    def execute(self, plan: ExecutionPlan, masks: np.ndarray) -> PipelineResult:
+        """Carry out a previously built plan over ``masks``.
+
+        The masks must match the plan's ``num_masks`` / ``mask_shape`` and
+        the plan must have been built for this engine; anything else raises
+        :class:`ValueError` (a plan is not transferable across pipelines
+        with different compute identities).
+        """
+        batch4, _ = self._normalize(masks)
+        n = batch4.shape[0]
+        if plan.engine != self.name:
+            raise ValueError(
+                f"plan was built for engine {plan.engine!r}, not {self.name!r}"
+            )
+        if n != plan.num_masks or batch4.shape[-2:] != plan.mask_shape:
+            raise ValueError(
+                f"plan covers {plan.num_masks} mask(s) of shape {plan.mask_shape}, "
+                f"got {n} of shape {batch4.shape[-2:]}"
+            )
+        stats = PipelineStats(engine=self.name, mode=plan.mode, num_masks=n)
+        if n == 0:
+            return PipelineResult(outputs=batch4.copy(), stats=stats)
+        robustness = self._robustness_snapshot()
+        start = time.perf_counter()
+        stitched = plan.mode == "stitched"
+        if self.result_cache is None:
+            outputs = (
+                self._run_stitched(batch4, plan.batch_size, stats)
+                if stitched
+                else self._run_native(batch4, plan.batch_size, stats)
+            )
+        else:
+            outputs = self._run_cached(batch4, plan.batch_size, stats, stitched)
+        stats.seconds = time.perf_counter() - start
+        self._record_robustness(stats, robustness)
+        return PipelineResult(outputs=outputs, stats=stats)
+
     def run(
         self,
         masks: np.ndarray,
@@ -337,27 +428,16 @@ class InferencePipeline:
         ``(N, 1, H, W)`` (use :meth:`predict` to mirror the input layout).
         ``stitch=False`` forces the naive whole-image path regardless of size
         (the Table 4 "DOINN" row); ``None`` lets the planner decide.
+        Equivalent to :meth:`plan` followed by :meth:`execute`.
         """
         batch4, _ = self._normalize(masks)
-        batch_size = batch_size or self.batch_size
-        stats = PipelineStats(engine=self.name, num_masks=batch4.shape[0])
         if batch4.shape[0] == 0:
-            return PipelineResult(outputs=batch4.copy(), stats=stats)
-        robustness = self._robustness_snapshot()
-        start = time.perf_counter()
-        stitched = self._plan_stitched(batch4, stitch)
-        stats.mode = "stitched" if stitched else "native"
-        if self.result_cache is None:
-            outputs = (
-                self._run_stitched(batch4, batch_size, stats)
-                if stitched
-                else self._run_native(batch4, batch_size, stats)
+            return PipelineResult(
+                outputs=batch4.copy(),
+                stats=PipelineStats(engine=self.name, num_masks=0),
             )
-        else:
-            outputs = self._run_cached(batch4, batch_size, stats, stitched)
-        stats.seconds = time.perf_counter() - start
-        self._record_robustness(stats, robustness)
-        return PipelineResult(outputs=outputs, stats=stats)
+        execution_plan = self._build_plan(batch4, batch_size or self.batch_size, stitch)
+        return self.execute(execution_plan, batch4)
 
     def predict(
         self,
@@ -601,6 +681,59 @@ class InferencePipeline:
             self._require_stitchable()
             return True
         return oversized and self.executor.supports_stitching
+
+    def _build_plan(
+        self, batch4: np.ndarray, batch_size: int, stitch: bool | None
+    ) -> ExecutionPlan:
+        """Build the :class:`ExecutionPlan` of one invocation.
+
+        The batch math mirrors :meth:`_run_native` / :meth:`_run_stitched` /
+        :meth:`_run_gp_batches` exactly, so an executed run's
+        :class:`PipelineStats` match the plan field for field (when the
+        result cache is off — cache hits remove batches at execution time).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        n = batch4.shape[0]
+        h, w = batch4.shape[-2:]
+        common = dict(
+            engine=self.name,
+            num_masks=n,
+            mask_shape=(h, w),
+            batch_size=batch_size,
+            num_workers=self.num_workers,
+            streaming=self.streaming,
+            result_cache=self.result_cache is not None,
+            compute_identity=self._compute_identity.hex(),
+        )
+        stitched = n > 0 and self._plan_stitched(batch4, stitch)
+        if not stitched:
+            return ExecutionPlan(
+                mode="native",
+                num_batches=-(-n // batch_size) if n else 0,
+                **common,
+            )
+        self._validate_tiled_size((h, w))
+        specs = tile_grid((h, w), self.tile_size)
+        tiles_per_mask = len(specs)
+        total_tiles = n * tiles_per_mask
+        sharded = self._shards_tile_stream()
+        super_batch = (
+            batch_size * max(1, self.executor.num_workers) if sharded else batch_size
+        )
+        gp_batches = -(-total_tiles // super_batch)
+        reconstruction_batches = -(-n // batch_size)
+        return ExecutionPlan(
+            mode="stitched",
+            tile_size=self.tile_size,
+            tile_grid=(max(s.row for s in specs) + 1, max(s.col for s in specs) + 1),
+            tiles_per_mask=tiles_per_mask,
+            num_tiles=total_tiles,
+            num_batches=gp_batches + reconstruction_batches,
+            super_batch=super_batch,
+            sharded_tiles=sharded,
+            **common,
+        )
 
     def _require_stitchable(self) -> None:
         if self.tile_size is None:

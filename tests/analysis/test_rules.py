@@ -145,6 +145,90 @@ def test_env002_skips_non_repo_checkouts(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# CONFIG001: execution knobs stay inside ExecutionConfig on public surfaces
+# --------------------------------------------------------------------- #
+
+CONFIG001_BAD_FUNC = """\
+    def build_pipeline(model, num_workers=None, streaming=None):
+        return model
+"""
+
+CONFIG001_BAD_METHOD = """\
+    class Harness:
+        def __init__(self, blas_threads=None):
+            self.blas_threads = blas_threads
+"""
+
+CONFIG001_GOOD_CONFIG = """\
+    def build_pipeline(model, config=None, batch_size=None, tile_size=None):
+        return model
+"""
+
+CONFIG001_PRAGMA = """\
+    # repro: ok(CONFIG001, deprecated legacy shim kept for one release)
+    def build_pipeline(model, num_workers=None):
+        return model
+"""
+
+CONFIG001_PRIVATE = """\
+    def _thread_knobs(num_workers, streaming):
+        return num_workers, streaming
+
+    def test_sweep(num_workers):
+        return num_workers
+
+    def public():
+        def sweep(compile=False):
+            return compile
+        return sweep
+"""
+
+
+def test_config001_flags_knob_params_on_target_surfaces(tmp_path):
+    result = lint(tmp_path, CONFIG001_BAD_FUNC, relpath="src/repro/pipeline/engine.py")
+    assert rule_ids(result) == ["CONFIG001"]
+    assert "num_workers, streaming" in result.findings[0].message
+
+
+def test_config001_flags_init_of_public_classes(tmp_path):
+    result = lint(
+        tmp_path, CONFIG001_BAD_METHOD, relpath="src/repro/experiments/harness.py"
+    )
+    assert rule_ids(result) == ["CONFIG001"]
+
+
+def test_config001_covers_benchmarks_and_examples(tmp_path):
+    for relpath in ("benchmarks/conftest.py", "examples/demo.py"):
+        result = lint(tmp_path, CONFIG001_BAD_FUNC, relpath=relpath)
+        assert rule_ids(result) == ["CONFIG001"], relpath
+
+
+def test_config001_quiet_on_config_route_and_per_call_args(tmp_path):
+    result = lint(
+        tmp_path, CONFIG001_GOOD_CONFIG, relpath="src/repro/pipeline/engine.py"
+    )
+    assert rule_ids(result) == []
+
+
+def test_config001_quiet_outside_target_surfaces(tmp_path):
+    # The mechanism layers keep per-knob signatures (each implements one knob).
+    result = lint(
+        tmp_path, CONFIG001_BAD_FUNC, relpath="src/repro/pipeline/parallel.py"
+    )
+    assert rule_ids(result) == []
+
+
+def test_config001_suppressible_with_pragma(tmp_path):
+    result = lint(tmp_path, CONFIG001_PRAGMA, relpath="src/repro/pipeline/engine.py")
+    assert rule_ids(result) == []
+
+
+def test_config001_skips_private_test_and_nested_functions(tmp_path):
+    result = lint(tmp_path, CONFIG001_PRIVATE, relpath="benchmarks/bench_demo.py")
+    assert rule_ids(result) == []
+
+
+# --------------------------------------------------------------------- #
 # SHM001: SharedMemory stays registry-managed
 # --------------------------------------------------------------------- #
 

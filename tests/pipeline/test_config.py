@@ -1,0 +1,560 @@
+"""Tests for the unified execution-config document and serializable plans.
+
+Pins the PR-10 contracts: :class:`ExecutionConfig` is the one knob document
+(explicit > ``REPRO_*`` env > default, resolved exactly once, with per-field
+provenance and structured :class:`ConfigError`\\ s), :class:`ExecutionPlan`
+round-trips through JSON and matches the executed :class:`PipelineStats`,
+and every consumer reaches the pipeline through ``config=`` with the legacy
+keyword shims warning on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import fields, replace
+
+import numpy as np
+import pytest
+
+from repro import knobs
+from repro.core import DOINN
+from repro.evaluation.runtime import (
+    measure_model_throughput,
+    measure_simulator_throughput,
+)
+from repro.experiments import Harness
+from repro.experiments.figure6_runtime import run_figure6
+from repro.experiments.table4_large_tile import run_table4
+from repro.litho import LithoSimulator
+from repro.nn.backends import get_backend
+from repro.opc import OPCConfig
+from repro.pipeline import (
+    ConfigError,
+    ExecutionConfig,
+    ExecutionPlan,
+    InferencePipeline,
+    ParallelConfig,
+    RetryPolicy,
+)
+from repro.pipeline.supervision import DEFAULT_MAX_RETRIES
+
+#: Every environment leg ExecutionConfig.resolve() consults.
+KNOB_ENVS = (
+    "REPRO_NUM_WORKERS",
+    "REPRO_STREAMING",
+    "REPRO_INCREMENTAL_OPC",
+    "REPRO_RESULT_CACHE",
+    "REPRO_BLAS_THREADS",
+    "REPRO_WORKER_TIMEOUT",
+    "REPRO_WORKER_RETRIES",
+    "REPRO_DEGRADE",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    """Every test starts from an empty knob environment."""
+    for name in KNOB_ENVS:
+        monkeypatch.delenv(name, raising=False)
+
+
+@pytest.fixture(scope="module")
+def model(tiny_model_factory) -> DOINN:
+    return tiny_model_factory("doinn")
+
+
+def _mask(size: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random((size, size)) > 0.8).astype(float)
+
+
+# --------------------------------------------------------------------- #
+# Resolution: explicit > env > default, exactly once
+# --------------------------------------------------------------------- #
+def test_resolve_defaults():
+    cfg = ExecutionConfig().resolve()
+    assert cfg.resolved
+    assert cfg.batch_size == 8
+    assert cfg.optical_diameter_pixels == 16
+    assert cfg.num_workers == 0
+    assert cfg.compile is False
+    assert cfg.streaming is True
+    assert cfg.incremental is True
+    assert cfg.blas_threads == 0
+    assert cfg.result_cache == 0
+    assert cfg.retry == RetryPolicy(timeout=None, max_retries=DEFAULT_MAX_RETRIES, degrade=True)
+    # Deliberate pass-throughs stay None.
+    assert cfg.tile_size is None
+    assert cfg.backend is None
+    assert cfg.shard_tiles is None
+    assert cfg.chunk_size is None
+    for name in ("batch_size", "num_workers", "streaming", "incremental", "blas_threads"):
+        assert cfg.source_of(name) == "default"
+
+
+def test_resolve_is_idempotent():
+    cfg = ExecutionConfig(num_workers=2).resolve()
+    assert cfg.resolve() is cfg
+
+
+@pytest.mark.parametrize(
+    ("env", "raw", "field", "env_value", "explicit", "explicit_value"),
+    [
+        ("REPRO_NUM_WORKERS", "3", "num_workers", 3, 1, 1),
+        ("REPRO_STREAMING", "0", "streaming", False, True, True),
+        ("REPRO_INCREMENTAL_OPC", "0", "incremental", False, True, True),
+        ("REPRO_RESULT_CACHE", "1024", "result_cache", 1024, 2048, 2048),
+        ("REPRO_BLAS_THREADS", "5", "blas_threads", 5, 2, 2),
+    ],
+)
+def test_env_vs_explicit_precedence(monkeypatch, env, raw, field, env_value, explicit, explicit_value):
+    monkeypatch.setenv(env, raw)
+    from_env = ExecutionConfig().resolve()
+    assert getattr(from_env, field) == env_value
+    assert from_env.source_of(field) == env
+
+    forced = ExecutionConfig(**{field: explicit}).resolve()
+    assert getattr(forced, field) == explicit_value
+    assert forced.source_of(field) == "explicit"
+
+
+@pytest.mark.parametrize(
+    ("env", "raw", "attr", "env_value", "explicit_retry", "explicit_value"),
+    [
+        ("REPRO_WORKER_TIMEOUT", "7.5", "timeout", 7.5, RetryPolicy(timeout=3.0), 3.0),
+        ("REPRO_WORKER_RETRIES", "5", "max_retries", 5, RetryPolicy(max_retries=1), 1),
+        ("REPRO_DEGRADE", "0", "degrade", False, RetryPolicy(degrade=True), True),
+    ],
+)
+def test_retry_env_vs_explicit_precedence(monkeypatch, env, raw, attr, env_value, explicit_retry, explicit_value):
+    monkeypatch.setenv(env, raw)
+    from_env = ExecutionConfig().resolve()
+    assert getattr(from_env.retry, attr) == env_value
+    assert from_env.source_of(f"retry.{attr}") == env
+
+    forced = ExecutionConfig(retry=explicit_retry).resolve()
+    assert getattr(forced.retry, attr) == explicit_value
+    assert forced.source_of(f"retry.{attr}") == "explicit"
+
+
+def test_retry_timeout_zero_sentinel_survives_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "9")
+    cfg = ExecutionConfig(retry=RetryPolicy(timeout=0)).resolve()
+    assert cfg.retry.timeout == 0
+    assert cfg.source_of("retry.timeout") == "explicit"
+
+
+def test_blas_default_tracks_workers():
+    assert ExecutionConfig(num_workers=2).resolve().blas_threads == 1
+    assert ExecutionConfig(num_workers=0).resolve().blas_threads == 0
+
+
+def test_sources_empty_before_resolution():
+    cfg = ExecutionConfig(num_workers=2)
+    assert cfg.sources == {}
+    assert cfg.source_of("num_workers") == "explicit"
+    assert cfg.source_of("streaming") == "unset"
+    assert set(cfg.resolve().sources) >= {"batch_size", "retry.timeout", "result_cache"}
+
+
+# --------------------------------------------------------------------- #
+# Merging (satellite 2: the one ParallelConfig-style override pass)
+# --------------------------------------------------------------------- #
+def test_merged_other_wins_field_by_field():
+    base = ExecutionConfig(num_workers=1, streaming=True, batch_size=4)
+    other = ExecutionConfig(num_workers=2, blas_threads=3)
+    merged = base.merged(other)
+    assert merged.num_workers == 2          # other's set field wins
+    assert merged.blas_threads == 3
+    assert merged.streaming is True         # other's None never overrides
+    assert merged.batch_size == 4
+
+
+def test_merged_overrides_beat_other():
+    base = ExecutionConfig(num_workers=1)
+    other = ExecutionConfig(num_workers=2)
+    assert base.merged(other, num_workers=4).num_workers == 4
+    assert base.merged(other, num_workers=None).num_workers == 2
+
+
+def test_merged_unknown_knob_raises():
+    with pytest.raises(ConfigError) as excinfo:
+        ExecutionConfig().merged(worker_count=2)
+    assert excinfo.value.field == "worker_count"
+    assert "worker_count" in str(excinfo.value)
+
+
+def test_merged_no_changes_returns_self():
+    cfg = ExecutionConfig(num_workers=1)
+    assert cfg.merged() is cfg
+    assert cfg.merged(ExecutionConfig(), num_workers=None) is cfg
+
+
+def test_merged_invalidates_resolution():
+    resolved = ExecutionConfig().resolve()
+    assert resolved.merged(num_workers=2).resolved is False
+
+
+def test_parallel_config_round_trip():
+    policy = RetryPolicy(timeout=1.0, max_retries=3)
+    parallel = ParallelConfig(
+        num_workers=2, chunk_size=3, streaming=False, retry=policy, blas_threads=1
+    )
+    lifted = ExecutionConfig.from_parallel(parallel)
+    assert lifted.num_workers == 2
+    assert lifted.chunk_size == 3
+    assert lifted.streaming is False
+    assert lifted.retry == policy
+    assert lifted.blas_threads == 1
+    back = lifted.parallel()
+    assert (back.num_workers, back.chunk_size, back.streaming, back.retry, back.blas_threads) == (
+        2, 3, False, policy, 1,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Validation: structured errors naming field + source
+# --------------------------------------------------------------------- #
+def test_validate_names_field_and_source():
+    with pytest.raises(ConfigError) as excinfo:
+        ExecutionConfig(batch_size=0).validate()
+    assert excinfo.value.field == "batch_size"
+    assert excinfo.value.source == "explicit"
+    assert "batch_size" in str(excinfo.value)
+
+
+def test_config_error_is_value_error():
+    assert issubclass(ConfigError, ValueError)
+    with pytest.raises(ValueError):
+        ExecutionConfig(num_workers=-1).validate()
+
+
+@pytest.mark.parametrize(
+    ("field", "value"),
+    [
+        ("batch_size", True),           # bools are not sizes
+        ("tile_size", 0),
+        ("chunk_size", 0),
+        ("blas_threads", -1),
+        ("backend", "not-a-backend"),
+        ("streaming", 1),
+        ("shard_tiles", "yes"),
+        ("incremental", 0),
+        ("result_cache", 1.5),
+        ("retry", object()),
+    ],
+)
+def test_validate_rejects_bad_values(field, value):
+    with pytest.raises(ConfigError) as excinfo:
+        ExecutionConfig(**{field: value}).validate()
+    assert excinfo.value.field == field
+
+
+def test_resolve_validates():
+    with pytest.raises(ConfigError):
+        ExecutionConfig(batch_size=0).resolve()
+
+
+# --------------------------------------------------------------------- #
+# Serialization (satellite 3: JSON round-trips)
+# --------------------------------------------------------------------- #
+def test_config_json_round_trip():
+    cfg = ExecutionConfig(
+        tile_size=32,
+        batch_size=4,
+        num_workers=2,
+        chunk_size=3,
+        streaming=False,
+        shard_tiles=True,
+        result_cache=4096,
+        retry=RetryPolicy(timeout=1.5, max_retries=1, degrade=False),
+        backend="float32",
+        blas_threads=1,
+        incremental=False,
+    )
+    assert ExecutionConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+
+def test_resolved_config_json_round_trip():
+    cfg = ExecutionConfig(num_workers=2).resolve()
+    restored = ExecutionConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+    assert restored == cfg
+    assert restored.resolved
+
+
+def test_to_dict_serializes_backend_object():
+    cfg = ExecutionConfig(backend=get_backend("float32"))
+    assert cfg.to_dict()["backend"] == "float32"
+
+
+def test_from_dict_unknown_key_raises():
+    with pytest.raises(ConfigError) as excinfo:
+        ExecutionConfig.from_dict({"num_workers": 2, "workers": 3})
+    assert excinfo.value.field == "workers"
+
+
+def test_plan_from_dict_unknown_key_raises():
+    with pytest.raises(ConfigError) as excinfo:
+        ExecutionPlan.from_dict({"engine": "doinn", "modes": "native"})
+    assert excinfo.value.field == "modes"
+
+
+def test_knob_registry_maps_to_config_fields():
+    """Every execution knob in the registry names a real config field."""
+    config_fields = {spec.name for spec in fields(ExecutionConfig)}
+    retry_fields = {spec.name for spec in fields(RetryPolicy)}
+    mapped = set()
+    for knob in knobs.all_knobs():
+        if not knob.field:
+            continue
+        if knob.field.startswith("retry."):
+            assert knob.field.removeprefix("retry.") in retry_fields, knob.name
+        else:
+            assert knob.field in config_fields, knob.name
+        mapped.add(knob.name)
+    assert {
+        "REPRO_NUM_WORKERS", "REPRO_STREAMING", "REPRO_RESULT_CACHE",
+        "REPRO_INCREMENTAL_OPC", "REPRO_BACKEND", "REPRO_BLAS_THREADS",
+        "REPRO_WORKER_TIMEOUT", "REPRO_WORKER_RETRIES", "REPRO_DEGRADE",
+        "REPRO_COMPILE",
+    } <= mapped
+
+
+# --------------------------------------------------------------------- #
+# Plans: serializable, executable, and honest about what ran
+# --------------------------------------------------------------------- #
+STITCHED = ExecutionConfig(
+    tile_size=32, batch_size=4, optical_diameter_pixels=16, result_cache=False
+)
+
+
+def test_plan_stitched_geometry(model):
+    with InferencePipeline(model, config=STITCHED) as pipeline:
+        plan = pipeline.plan(np.stack([_mask(64, seed=s) for s in (1, 2)]))
+    assert plan.engine == pipeline.name
+    assert plan.mode == "stitched"
+    assert plan.num_masks == 2
+    assert plan.mask_shape == (64, 64)
+    rows, cols = plan.tile_grid
+    assert (rows, cols) == (3, 3)  # overlapping tiles: stride < tile_size
+    assert plan.tiles_per_mask == rows * cols
+    assert plan.num_tiles == plan.num_masks * plan.tiles_per_mask
+    assert plan.sharded_tiles is False
+    assert plan.compute_identity
+
+
+def test_plan_json_round_trip(model):
+    with InferencePipeline(model, config=STITCHED) as pipeline:
+        plan = pipeline.plan(_mask(64))
+    restored = ExecutionPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert restored == plan
+    assert isinstance(restored.mask_shape, tuple)
+    assert isinstance(restored.tile_grid, tuple)
+
+
+@pytest.mark.parametrize("size,mode", [(32, "native"), (64, "stitched")])
+def test_plan_matches_executed_stats(model, size, mode):
+    masks = np.stack([_mask(size, seed=s) for s in (3, 4, 5)])
+    with InferencePipeline(model, config=STITCHED) as pipeline:
+        plan = pipeline.plan(masks)
+        result = pipeline.run(masks)
+    assert plan.mode == mode
+    stats = result.stats
+    assert (stats.mode, stats.num_tiles, stats.num_batches, stats.sharded_tiles) == (
+        plan.mode, plan.num_tiles, plan.num_batches, plan.sharded_tiles,
+    )
+    assert stats.num_masks == plan.num_masks
+
+
+def test_execute_matches_predict(model):
+    masks = np.stack([_mask(64, seed=s) for s in (6, 7)])
+    with InferencePipeline(model, config=STITCHED) as pipeline:
+        plan = pipeline.plan(masks)
+        executed = pipeline.execute(plan, masks)
+        reference = pipeline.predict(masks)
+    assert np.array_equal(executed.outputs[:, 0], reference)
+
+
+def test_execute_rejects_foreign_plans(model):
+    masks = _mask(64)
+    with InferencePipeline(model, config=STITCHED) as pipeline:
+        plan = pipeline.plan(masks)
+        with pytest.raises(ValueError, match="built for engine"):
+            pipeline.execute(replace(plan, engine="someone-else"), masks)
+        with pytest.raises(ValueError, match="plan covers"):
+            pipeline.execute(plan, np.stack([masks, masks]))
+
+
+def test_plan_pooled_sharded(model):
+    masks = np.stack([_mask(64, seed=s) for s in (8, 9)])
+    with InferencePipeline(model, config=STITCHED.merged(num_workers=2)) as pipeline:
+        plan = pipeline.plan(masks)
+        stats = pipeline.run(masks).stats
+    assert plan.num_workers == 2
+    assert plan.sharded_tiles is True
+    assert plan.super_batch == 4 * 2
+    assert (stats.mode, stats.num_tiles, stats.num_batches, stats.sharded_tiles) == (
+        plan.mode, plan.num_tiles, plan.num_batches, plan.sharded_tiles,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Config route == kwarg route, bit for bit (acceptance)
+# --------------------------------------------------------------------- #
+def _legacy_pipeline(engine, **kwargs) -> InferencePipeline:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return InferencePipeline(engine, **kwargs)
+
+
+def test_config_route_matches_kwargs_zoo_wide(zoo_model):
+    _, engine = zoo_model
+    masks = np.stack([_mask(32, seed=s) for s in (10, 11, 12)])
+    with _legacy_pipeline(engine, batch_size=2, result_cache=False) as legacy:
+        expected = legacy.predict(masks)
+    with InferencePipeline(
+        engine, config=ExecutionConfig(batch_size=2, result_cache=False)
+    ) as routed:
+        assert np.array_equal(routed.predict(masks), expected)
+
+
+def test_config_route_matches_kwargs_stitched(model):
+    masks = np.stack([_mask(64, seed=s) for s in (13, 14)])
+    kwargs = dict(tile_size=32, batch_size=4, optical_diameter_pixels=16, result_cache=False)
+    with _legacy_pipeline(model, **kwargs) as legacy:
+        expected = legacy.predict(masks)
+    with InferencePipeline(model, config=ExecutionConfig(**kwargs)) as routed:
+        assert np.array_equal(routed.predict(masks), expected)
+
+
+def test_config_route_matches_kwargs_pooled(model):
+    masks = np.stack([_mask(64, seed=s) for s in (15, 16)])
+    kwargs = dict(tile_size=32, batch_size=4, optical_diameter_pixels=16, result_cache=False)
+    with _legacy_pipeline(model, num_workers=2, **kwargs) as legacy:
+        expected = legacy.predict(masks)
+    with InferencePipeline(
+        model, config=ExecutionConfig(num_workers=2, **kwargs)
+    ) as routed:
+        assert np.array_equal(routed.predict(masks), expected)
+
+
+# --------------------------------------------------------------------- #
+# Legacy kwarg shims: every path warns; config= stays silent
+# --------------------------------------------------------------------- #
+LEGACY_KWARGS = {
+    "tile_size": 32,
+    "batch_size": 2,
+    "optical_diameter_pixels": 8,
+    "num_workers": 0,
+    "chunk_size": 1,
+    "compile": False,
+    "streaming": False,
+    "shard_tiles": False,
+    "result_cache": False,
+    "retry": RetryPolicy(),
+    "blas_threads": 0,
+}
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY_KWARGS))
+def test_pipeline_warns_per_legacy_kwarg(model, name):
+    with pytest.warns(DeprecationWarning, match=name):
+        pipeline = InferencePipeline(model, **{name: LEGACY_KWARGS[name]})
+    pipeline.close()
+
+
+def test_pipeline_warns_on_backend_kwarg(model):
+    with pytest.warns(DeprecationWarning, match="backend"):
+        pipeline = InferencePipeline(model, compile=True, backend="float32")
+    pipeline.close()
+
+
+def test_pipeline_warns_on_parallel_kwarg(model):
+    with pytest.warns(DeprecationWarning, match="parallel"):
+        pipeline = InferencePipeline(model, parallel=ParallelConfig(num_workers=0))
+    pipeline.close()
+
+
+def test_pipeline_kwargs_override_config(model):
+    with pytest.warns(DeprecationWarning):
+        pipeline = InferencePipeline(
+            model, config=ExecutionConfig(batch_size=4), batch_size=2
+        )
+    assert pipeline.config.batch_size == 2
+    assert pipeline.config.source_of("batch_size") == "explicit"
+    pipeline.close()
+
+
+def test_config_route_does_not_warn(model):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        pipeline = InferencePipeline(model, config=ExecutionConfig(batch_size=2))
+        pipeline.close()
+
+
+def test_harness_pipelines_warn_on_legacy_kwargs(model):
+    harness = Harness()
+    with pytest.warns(DeprecationWarning, match="model_pipeline"):
+        harness.model_pipeline(model, num_workers=0).close()
+    with pytest.warns(DeprecationWarning, match="simulator_pipeline"):
+        harness.simulator_pipeline(streaming=False).close()
+
+
+def test_harness_config_route_does_not_warn(model):
+    harness = Harness()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        pipeline = harness.model_pipeline(
+            model, config=ExecutionConfig(tile_size=32, batch_size=2)
+        )
+    assert pipeline.config.batch_size == 2
+    pipeline.close()
+
+
+def test_simulator_pipeline_forwards_every_knob():
+    """Satellite pin: blas_threads / shard_tiles no longer silently dropped."""
+    harness = Harness()
+    cfg = ExecutionConfig(
+        num_workers=0, blas_threads=0, shard_tiles=True, streaming=False, result_cache=False
+    )
+    pipeline = harness.simulator_pipeline(config=cfg)
+    try:
+        assert pipeline.config.blas_threads == 0
+        assert pipeline.config.source_of("blas_threads") == "explicit"
+        assert pipeline.config.shard_tiles is True
+        assert pipeline.config.streaming is False
+    finally:
+        pipeline.close()
+
+
+def test_measurement_helpers_warn_on_legacy_kwargs(model):
+    mask = _mask(32)
+    with pytest.warns(DeprecationWarning, match="measure_model_throughput"):
+        measure_model_throughput(model, mask, 16.0, repeats=1, warmup=0, num_workers=0)
+    simulator = LithoSimulator(pixel_size=16.0, num_kernels=4, kernel_support=15)
+    with pytest.warns(DeprecationWarning, match="measure_simulator_throughput"):
+        measure_simulator_throughput(simulator, mask, repeats=1, warmup=0, streaming=False)
+
+
+@pytest.mark.parametrize("driver", [run_figure6, run_table4])
+def test_experiment_drivers_warn_on_legacy_kwargs(driver):
+    # An unknown knob raises right after the warning, so neither driver gets
+    # far enough to build a harness — this pins the warn-then-merge order.
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        with pytest.raises(ConfigError):
+            driver(definitely_not_a_knob=1)
+
+
+def test_opc_config_execution_merge():
+    """The deprecated per-knob OPC fields override the embedded config."""
+    cfg = OPCConfig(
+        num_workers=2,
+        execution=ExecutionConfig(num_workers=4, streaming=False, blas_threads=3),
+    )
+    merged = cfg.execution_config()
+    assert merged.num_workers == 2       # legacy mirror field wins
+    assert merged.streaming is False     # embedded config fills the rest
+    assert merged.blas_threads == 3
+    embedded_only = OPCConfig(execution=ExecutionConfig(num_workers=4))
+    assert embedded_only.execution_config().num_workers == 4
